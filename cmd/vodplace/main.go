@@ -1,0 +1,118 @@
+// Command vodplace solves one content-placement instance end to end:
+// it synthesizes (or scales) a workload, estimates demand from the first
+// week of history, runs the EPF solver plus rounding, and reports the
+// placement — objective, optimality gap, constraint violations, copy
+// distribution, and per-office disk use.
+//
+// Usage:
+//
+//	vodplace [-videos 2000] [-vhos 55] [-disk 2.0] [-link 1000] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"vodplace/internal/catalog"
+	"vodplace/internal/core"
+	"vodplace/internal/demand"
+	"vodplace/internal/epf"
+	"vodplace/internal/topology"
+	"vodplace/internal/workload"
+)
+
+func main() {
+	var (
+		videos  = flag.Int("videos", 2000, "library size")
+		vhos    = flag.Int("vhos", 55, "number of offices (55 = backbone)")
+		rpd     = flag.Float64("rpd", 4, "requests per video per day")
+		disk    = flag.Float64("disk", 2.0, "aggregate disk as multiple of library size")
+		link    = flag.Float64("link", 1000, "uniform link capacity in Mb/s")
+		slices  = flag.Int("slices", 2, "number of peak-window link constraints |T|")
+		window  = flag.Int64("window", 3600, "peak window length in seconds")
+		seed    = flag.Int64("seed", 1, "random seed")
+		passes  = flag.Int("passes", 120, "solver pass cap")
+		verbose = flag.Bool("v", false, "per-pass solver progress")
+	)
+	flag.Parse()
+
+	var g *topology.Graph
+	if *vhos == 55 {
+		g = topology.Backbone55()
+	} else {
+		g = topology.Random(*vhos, 1.4, *seed)
+	}
+	lib := catalog.Generate(catalog.Config{NumVideos: *videos, Weeks: 2}, *seed+10)
+	tr := workload.GenerateTrace(lib, workload.TraceConfig{
+		Days: 8, NumVHOs: *vhos, RequestsPerVideoPerDay: *rpd,
+	}, *seed+20)
+
+	builder := &demand.Builder{
+		G: g, Lib: lib,
+		DiskGB:      core.UniformDisk(lib, *vhos, *disk),
+		LinkCapMbps: core.UniformLinks(g, *link),
+		Cfg:         demand.Config{Slices: *slices, WindowSec: *window, HorizonDays: 7},
+	}
+	inst, err := builder.Instance(tr, 7)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance: %d offices, %d links, %d videos, %d time slices\n",
+		inst.NumVHOs(), g.NumLinks(), inst.NumVideos(), inst.Slices)
+
+	opts := epf.Options{Seed: *seed, MaxPasses: *passes}
+	if *verbose {
+		opts.OnPass = func(pi epf.PassInfo) {
+			fmt.Printf("pass %3d  obj %12.1f  lb %12.1f  viol %6.3f%%\n",
+				pi.Pass, pi.Objective, pi.LowerBound, 100*pi.MaxViol)
+		}
+	}
+	start := time.Now()
+	res, err := epf.SolveInteger(inst, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nsolved in %.1fs (%d passes)\n", elapsed.Seconds(), res.Passes)
+	fmt.Printf("objective:     %.1f GB (transfer cost, hop-weighted)\n", res.Objective)
+	fmt.Printf("lower bound:   %.1f GB (Lagrangian)\n", res.LowerBound)
+	fmt.Printf("gap:           %.2f%%\n", 100*res.Gap)
+	fmt.Printf("violations:    disk %.2f%%, link %.2f%%\n", 100*res.Violation.Disk, 100*res.Violation.Link)
+
+	copies := res.Sol.Copies()
+	hist := map[int]int{}
+	total := 0
+	for _, c := range copies {
+		hist[c]++
+		total += c
+	}
+	var keys []int
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Printf("\ncopies  videos\n")
+	for _, k := range keys {
+		fmt.Printf("%6d  %6d\n", k, hist[k])
+	}
+	fmt.Printf("total copies: %d (%.2fx library)\n", total, float64(total)/float64(len(copies)))
+
+	use := res.Sol.DiskUsage()
+	var minU, maxU float64 = use[0], use[0]
+	for _, u := range use {
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	fmt.Printf("per-office disk use: min %.0f GB, max %.0f GB (capacity %.0f GB)\n",
+		minU, maxU, inst.DiskGB[0])
+}

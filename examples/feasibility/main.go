@@ -1,0 +1,89 @@
+// feasibility: the Fig. 11 disk/bandwidth tradeoff — for each link capacity,
+// find (by binary search over EPF solves) the minimum aggregate disk at
+// which every request can be served, for uniform and for large/medium/small
+// heterogeneous offices.
+//
+//	go run ./examples/feasibility [-videos 800]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vodplace"
+)
+
+func main() {
+	videos := flag.Int("videos", 800, "library size")
+	flag.Parse()
+
+	const offices = 20
+	g := vodplace.NewGraph("regional", offices)
+	for i := 0; i < offices; i++ {
+		if err := g.AddEdge(i, (i+1)%offices); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < offices; i += 4 {
+		if err := g.AddEdge(i, (i+7)%offices); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	lib := vodplace.GenerateLibrary(vodplace.LibraryConfig{NumVideos: *videos, Weeks: 2}, 1)
+	trace := vodplace.GenerateTrace(lib, vodplace.TraceConfig{
+		Days: 8, NumVHOs: offices, RequestsPerVideoPerDay: 3,
+	}, 2)
+
+	feasible := func(diskFactor, linkMbps float64, hetero bool) bool {
+		disk := vodplace.UniformDisk(lib, offices, diskFactor)
+		if hetero {
+			disk = vodplace.HeterogeneousDisk(lib, offices, diskFactor)
+		}
+		builder := &vodplace.DemandBuilder{
+			G: g, Lib: lib,
+			DiskGB:      disk,
+			LinkCapMbps: vodplace.UniformLinks(g, linkMbps),
+		}
+		inst, err := builder.Instance(trace, 7)
+		if err != nil {
+			return false
+		}
+		res, err := vodplace.Solve(inst, vodplace.SolverOptions{Seed: 1, MaxPasses: 60})
+		if err != nil {
+			return false
+		}
+		return res.Violation.Disk <= 0.02 && res.Violation.Link <= 0.02
+	}
+
+	minDisk := func(linkMbps float64, hetero bool) float64 {
+		lo, hi := 1.02, 8.0
+		if !feasible(hi, linkMbps, hetero) {
+			return 0
+		}
+		if feasible(lo, linkMbps, hetero) {
+			return lo
+		}
+		for i := 0; i < 6; i++ {
+			mid := (lo + hi) / 2
+			if feasible(mid, linkMbps, hetero) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi
+	}
+
+	fmt.Printf("%-16s %16s %16s\n", "link cap (Mb/s)", "uniform disk", "heterogeneous")
+	for _, cap := range []float64{200, 400, 800, 1600} {
+		u := minDisk(cap, false)
+		h := minDisk(cap, true)
+		fmt.Printf("%-16.0f %15.2fx %15.2fx\n", cap, u, h)
+	}
+	fmt.Println("\nmore bandwidth buys less disk; size-matched offices need less aggregate disk (Fig. 11)")
+}

@@ -1,0 +1,61 @@
+// iptv-backbone: the paper's headline experiment at library scale — weekly
+// MIP placement with a complementary cache versus Random+LRU caching, on the
+// 55-office backbone, over a multi-week trace with new releases.
+//
+//	go run ./examples/iptv-backbone [-videos 1500] [-days 21]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vodplace"
+)
+
+func main() {
+	videos := flag.Int("videos", 1500, "library size")
+	days := flag.Int("days", 21, "trace days")
+	flag.Parse()
+
+	g := vodplace.Backbone55()
+	lib := vodplace.GenerateLibrary(vodplace.LibraryConfig{
+		NumVideos: *videos, Weeks: (*days + 6) / 7, NumSeries: 5,
+	}, 1)
+	trace := vodplace.GenerateTrace(lib, vodplace.TraceConfig{
+		Days: *days, NumVHOs: 55, RequestsPerVideoPerDay: 4,
+	}, 2)
+
+	sys := &vodplace.System{
+		G: g, Lib: lib,
+		DiskGB:      vodplace.UniformDisk(lib, 55, 2.0), // 2x library aggregate
+		LinkCapMbps: vodplace.UniformLinks(g, 1000),     // 1 Gb/s links
+	}
+
+	fmt.Printf("backbone: 55 offices, %d links; library %.0f GB; %d requests\n",
+		g.NumLinks(), lib.TotalSizeGB(), len(trace.Requests))
+
+	// MIP scheme: weekly re-placement from 7-day history, 5% LRU cache.
+	mip, err := sys.RunMIP(trace, vodplace.MIPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s peak %7.0f Mb/s  transfers %11.0f GB·hop  local %5.1f%%\n",
+		"mip", mip.Sim.MaxLinkMbps, mip.Sim.TotalGBHop, 100*mip.Sim.LocalFrac)
+	for _, p := range mip.Plans {
+		fmt.Printf("  plan day %2d: objective %11.0f, gap %5.2f%%, violations %.2f%%\n",
+			p.Day, p.Result.Objective, 100*p.Result.Gap, 100*p.Result.Violation.Max())
+	}
+
+	// Baseline: one random copy of each video, rest of disk as LRU cache,
+	// nearest-replica oracle on misses.
+	lru, err := sys.RunBaseline(trace, vodplace.BaselineOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s peak %7.0f Mb/s  transfers %11.0f GB·hop  local %5.1f%%\n",
+		"random+lru", lru.MaxLinkMbps, lru.TotalGBHop, 100*lru.LocalFrac)
+
+	fmt.Printf("\nMIP uses %.0f%% of the LRU peak bandwidth (paper: ~50%%) and %.0f%% of its transfer volume\n",
+		100*mip.Sim.MaxLinkMbps/lru.MaxLinkMbps, 100*mip.Sim.TotalGBHop/lru.TotalGBHop)
+}

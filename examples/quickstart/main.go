@@ -1,0 +1,70 @@
+// Quickstart: build a small VoD system, solve a placement, inspect it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vodplace"
+)
+
+func main() {
+	// A 10-office backbone-like network with a 500-video library.
+	g := vodplace.NewGraph("demo", 10)
+	for i := 0; i < 10; i++ {
+		if err := g.AddEdge(i, (i+1)%10); err != nil { // ring
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i += 3 { // a few chords
+		if err := g.AddEdge(i, (i+4)%10); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	lib := vodplace.GenerateLibrary(vodplace.LibraryConfig{NumVideos: 500, Weeks: 2}, 1)
+	trace := vodplace.GenerateTrace(lib, vodplace.TraceConfig{
+		Days: 8, NumVHOs: 10, RequestsPerVideoPerDay: 3,
+	}, 2)
+	fmt.Printf("library: %d videos, %.0f GB; trace: %d requests over %d days\n",
+		lib.Len(), lib.TotalSizeGB(), len(trace.Requests), trace.Days)
+
+	// Build a placement instance from the first week of history: aggregate
+	// disk twice the library, 1 Gb/s links, link constraints at the two
+	// busiest hours.
+	builder := &vodplace.DemandBuilder{
+		G: g, Lib: lib,
+		DiskGB:      vodplace.UniformDisk(lib, 10, 2.0),
+		LinkCapMbps: vodplace.UniformLinks(g, 1000),
+	}
+	inst, err := builder.Instance(trace, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve: EPF decomposition + integer rounding.
+	res, err := vodplace.SolveInteger(inst, vodplace.SolverOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement: objective %.0f GB·hop, %.1f%% above the Lagrangian bound\n",
+		res.Objective, 100*res.Gap)
+	fmt.Printf("violations: disk %.2f%%, link %.2f%%\n",
+		100*res.Violation.Disk, 100*res.Violation.Link)
+
+	copies := res.Sol.Copies()
+	one, multi := 0, 0
+	for _, c := range copies {
+		if c == 1 {
+			one++
+		} else {
+			multi++
+		}
+	}
+	fmt.Printf("copies: %d videos single-copy, %d replicated (long tail stays thin)\n", one, multi)
+}

@@ -1,0 +1,3 @@
+module vodplace
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package cache implements the size-bounded video caches the paper's
+// baseline strategies (Random+LRU, Random+LFU, Top-K+LRU, origin+LRU) and
+// the MIP scheme's small complementary cache (§VI-A) are built on.
+//
+// A video being streamed must stay in the cache for the stream's whole
+// duration (§I notes this as a key cost of caching long videos), so entries
+// carry a reference count; referenced entries are never evicted. When every
+// cached byte is referenced and a new video cannot be admitted, the request
+// is counted as "uncachable" — the Fig. 9 phenomenon.
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	LFU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits     int // Lookup found the video
+	Misses   int // Lookup did not
+	Admitted int // videos inserted
+	Rejected int // admissions that failed (all space referenced/too big)
+	Evicted  int // videos displaced by admissions
+}
+
+// entry is one cached video.
+type entry struct {
+	video int
+	size  float64
+	refs  int
+	freq  int
+	seq   int64 // recency tiebreak for LFU
+	// LRU bookkeeping
+	elem *list.Element
+	// LFU bookkeeping
+	heapIdx int
+}
+
+// Cache is a size-bounded video cache. Not safe for concurrent use.
+type Cache struct {
+	// OnEvict, when non-nil, is invoked for every video displaced by an
+	// admission (not for explicit Remove calls). The simulator uses it to
+	// keep its replica-location index in sync.
+	OnEvict func(video int)
+
+	policy Policy
+	capGB  float64
+	used   float64
+	items  map[int]*entry
+	stats  Stats
+	seq    int64
+
+	// LRU: front = most recent.
+	order *list.List
+	// LFU: min-heap on (freq, seq).
+	lfu lfuHeap
+}
+
+// New returns an empty cache with the given capacity and policy.
+// A non-positive capacity yields a cache that rejects everything.
+func New(policy Policy, capGB float64) *Cache {
+	return &Cache{
+		policy: policy,
+		capGB:  capGB,
+		items:  make(map[int]*entry),
+		order:  list.New(),
+	}
+}
+
+// CapGB returns the capacity.
+func (c *Cache) CapGB() float64 { return c.capGB }
+
+// UsedGB returns the bytes currently cached.
+func (c *Cache) UsedGB() float64 { return c.used }
+
+// Len returns the number of cached videos.
+func (c *Cache) Len() int { return len(c.items) }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Contains reports whether the video is cached, without touching stats or
+// recency.
+func (c *Cache) Contains(video int) bool {
+	_, ok := c.items[video]
+	return ok
+}
+
+// Lookup records a hit or miss and refreshes the entry's recency/frequency
+// on a hit.
+func (c *Cache) Lookup(video int) bool {
+	e, ok := c.items[video]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.touch(e)
+	return true
+}
+
+func (c *Cache) touch(e *entry) {
+	c.seq++
+	e.seq = c.seq
+	e.freq++
+	switch c.policy {
+	case LRU:
+		c.order.MoveToFront(e.elem)
+	case LFU:
+		heap.Fix(&c.lfu, e.heapIdx)
+	}
+}
+
+// Admit inserts the video, evicting per policy as needed. It returns false —
+// and counts a rejection — when the video cannot fit because the remaining
+// contents are all referenced by active streams (or the video exceeds the
+// whole capacity). Admitting an already-cached video refreshes it.
+func (c *Cache) Admit(video int, sizeGB float64) bool {
+	if e, ok := c.items[video]; ok {
+		c.touch(e)
+		return true
+	}
+	if sizeGB > c.capGB {
+		c.stats.Rejected++
+		return false
+	}
+	// Evict until it fits; abort (restoring nothing — evictions are
+	// permanent, as in a real cache) if no unreferenced victim remains.
+	for c.used+sizeGB > c.capGB {
+		victim := c.victim()
+		if victim == nil {
+			c.stats.Rejected++
+			return false
+		}
+		c.removeEntry(victim)
+		c.stats.Evicted++
+		if c.OnEvict != nil {
+			c.OnEvict(victim.video)
+		}
+	}
+	c.seq++
+	e := &entry{video: video, size: sizeGB, freq: 1, seq: c.seq}
+	c.items[video] = e
+	c.used += sizeGB
+	switch c.policy {
+	case LRU:
+		e.elem = c.order.PushFront(e)
+	case LFU:
+		heap.Push(&c.lfu, e)
+	}
+	c.stats.Admitted++
+	return true
+}
+
+// victim returns the next evictable (unreferenced) entry per policy, or nil.
+func (c *Cache) victim() *entry {
+	switch c.policy {
+	case LRU:
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if e.refs == 0 {
+				return e
+			}
+		}
+		return nil
+	case LFU:
+		// Pop referenced entries into a stash, then restore them.
+		var stash []*entry
+		var found *entry
+		for c.lfu.Len() > 0 {
+			e := heap.Pop(&c.lfu).(*entry)
+			if e.refs == 0 {
+				found = e
+				break
+			}
+			stash = append(stash, e)
+		}
+		for _, e := range stash {
+			heap.Push(&c.lfu, e)
+		}
+		if found != nil {
+			// Re-add; removeEntry will take it out properly.
+			heap.Push(&c.lfu, found)
+		}
+		return found
+	default:
+		return nil
+	}
+}
+
+func (c *Cache) removeEntry(e *entry) {
+	delete(c.items, e.video)
+	c.used -= e.size
+	switch c.policy {
+	case LRU:
+		c.order.Remove(e.elem)
+	case LFU:
+		heap.Remove(&c.lfu, e.heapIdx)
+	}
+}
+
+// Remove drops the video if cached (regardless of references).
+func (c *Cache) Remove(video int) {
+	if e, ok := c.items[video]; ok {
+		c.removeEntry(e)
+	}
+}
+
+// Retain marks the video as in use by an active stream, protecting it from
+// eviction. Calls nest.
+func (c *Cache) Retain(video int) {
+	if e, ok := c.items[video]; ok {
+		e.refs++
+	}
+}
+
+// Release undoes one Retain.
+func (c *Cache) Release(video int) {
+	if e, ok := c.items[video]; ok && e.refs > 0 {
+		e.refs--
+	}
+}
+
+// ReferencedGB returns the bytes currently protected by active streams —
+// the quantity whose growth makes requests uncachable in Fig. 9.
+func (c *Cache) ReferencedGB() float64 {
+	var total float64
+	for _, e := range c.items {
+		if e.refs > 0 {
+			total += e.size
+		}
+	}
+	return total
+}
+
+// lfuHeap is a min-heap on (freq, seq): least frequently used first, oldest
+// first among ties.
+type lfuHeap []*entry
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(a, b int) bool {
+	if h[a].freq != h[b].freq {
+		return h[a].freq < h[b].freq
+	}
+	return h[a].seq < h[b].seq
+}
+func (h lfuHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIdx = a
+	h[b].heapIdx = b
+}
+func (h *lfuHeap) Push(x any) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

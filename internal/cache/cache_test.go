@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := New(LRU, 3)
+	if !c.Admit(1, 1) || !c.Admit(2, 1) || !c.Admit(3, 1) {
+		t.Fatal("admissions failed")
+	}
+	if c.UsedGB() != 3 || c.Len() != 3 {
+		t.Fatalf("used %g len %d", c.UsedGB(), c.Len())
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if !c.Lookup(1) {
+		t.Fatal("1 should be cached")
+	}
+	if !c.Admit(4, 1) {
+		t.Fatal("admit 4 failed")
+	}
+	if c.Contains(2) {
+		t.Error("2 should have been evicted (LRU)")
+	}
+	if !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Error("wrong survivors")
+	}
+	st := c.Stats()
+	if st.Evicted != 1 || st.Admitted != 4 || st.Hits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLFUBasics(t *testing.T) {
+	c := New(LFU, 3)
+	c.Admit(1, 1)
+	c.Admit(2, 1)
+	c.Admit(3, 1)
+	// Make 1 and 3 popular; 2 stays at freq 1 and must be the victim.
+	c.Lookup(1)
+	c.Lookup(1)
+	c.Lookup(3)
+	if !c.Admit(4, 1) {
+		t.Fatal("admit 4 failed")
+	}
+	if c.Contains(2) {
+		t.Error("2 should have been evicted (LFU)")
+	}
+}
+
+func TestRetainBlocksEviction(t *testing.T) {
+	c := New(LRU, 2)
+	c.Admit(1, 1)
+	c.Admit(2, 1)
+	c.Retain(1)
+	c.Retain(2)
+	if c.Admit(3, 1) {
+		t.Error("admit should fail with everything referenced")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", c.Stats().Rejected)
+	}
+	if c.ReferencedGB() != 2 {
+		t.Errorf("ReferencedGB = %g, want 2", c.ReferencedGB())
+	}
+	c.Release(1)
+	if !c.Admit(3, 1) {
+		t.Error("admit should succeed after release")
+	}
+	if c.Contains(1) {
+		t.Error("1 should have been evicted after release")
+	}
+	if !c.Contains(2) {
+		t.Error("2 is referenced and must survive")
+	}
+}
+
+func TestAdmitOversized(t *testing.T) {
+	c := New(LRU, 1)
+	if c.Admit(1, 2) {
+		t.Error("oversized admit should fail")
+	}
+	if c.Admit(1, 0.5) != true {
+		t.Error("fitting admit should succeed")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := New(LRU, 0)
+	if c.Admit(1, 0.5) {
+		t.Error("zero-capacity cache admitted a video")
+	}
+	if c.Lookup(1) {
+		t.Error("zero-capacity cache claims a hit")
+	}
+}
+
+func TestAdmitExistingRefreshes(t *testing.T) {
+	c := New(LRU, 2)
+	c.Admit(1, 1)
+	c.Admit(2, 1)
+	c.Admit(1, 1) // refresh, no growth
+	if c.UsedGB() != 2 {
+		t.Errorf("used %g, want 2", c.UsedGB())
+	}
+	c.Admit(3, 1) // evicts 2 (1 was refreshed)
+	if c.Contains(2) || !c.Contains(1) {
+		t.Error("refresh did not update recency")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(LFU, 2)
+	c.Admit(1, 1)
+	c.Retain(1)
+	c.Remove(1) // Remove works even when referenced
+	if c.Contains(1) || c.UsedGB() != 0 {
+		t.Error("remove failed")
+	}
+	c.Remove(99) // no-op
+}
+
+func TestVariableSizes(t *testing.T) {
+	c := New(LRU, 3)
+	c.Admit(1, 2)
+	c.Admit(2, 0.5)
+	if !c.Admit(3, 2) { // must evict both 1 and 2? 2+0.5+2 > 3: evict 1 (LRU) -> 0.5+2 fits
+		t.Fatal("admit 3 failed")
+	}
+	if c.Contains(1) {
+		t.Error("1 should be evicted")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Error("2 and 3 should be cached")
+	}
+	if c.UsedGB() != 2.5 {
+		t.Errorf("used %g, want 2.5", c.UsedGB())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || LFU.String() != "lfu" {
+		t.Error("bad policy names")
+	}
+	if Policy(7).String() == "" {
+		t.Error("unknown policy should format")
+	}
+}
+
+// Property: under random workloads, used size equals the sum of cached
+// entries, never exceeds capacity, and stats balance.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed int64, policyRaw bool, ops []uint16) bool {
+		policy := LRU
+		if policyRaw {
+			policy = LFU
+		}
+		rng := rand.New(rand.NewSource(seed))
+		c := New(policy, 5)
+		sizes := map[int]float64{}
+		for _, op := range ops {
+			video := int(op % 40)
+			switch op % 5 {
+			case 0, 1:
+				c.Lookup(video)
+			case 2:
+				size := 0.5 + rng.Float64()*2
+				if c.Contains(video) {
+					size = sizes[video]
+				}
+				if c.Admit(video, size) {
+					sizes[video] = size
+				}
+			case 3:
+				c.Retain(video)
+			case 4:
+				c.Release(video)
+			}
+			if c.UsedGB() > c.CapGB()+1e-9 {
+				return false
+			}
+			var sum float64
+			for v := range sizes {
+				if c.Contains(v) {
+					sum += sizes[v]
+				}
+			}
+			if diff := sum - c.UsedGB(); diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Hits >= 0 && st.Admitted >= st.Evicted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// LFU heap stress: many admissions with interleaved retains must never
+// corrupt the heap (verified indirectly by consistent eviction behavior).
+func TestLFUStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(LFU, 10)
+	retained := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		v := rng.Intn(100)
+		switch rng.Intn(4) {
+		case 0:
+			c.Lookup(v)
+		case 1:
+			c.Admit(v, 0.5+rng.Float64())
+		case 2:
+			if c.Contains(v) {
+				c.Retain(v)
+				retained[v]++
+			}
+		case 3:
+			if retained[v] > 0 {
+				c.Release(v)
+				retained[v]--
+			}
+		}
+	}
+	if c.UsedGB() > c.CapGB() {
+		t.Errorf("over capacity: %g > %g", c.UsedGB(), c.CapGB())
+	}
+}

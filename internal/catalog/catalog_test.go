@@ -1,0 +1,208 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassProperties(t *testing.T) {
+	cases := []struct {
+		class    Class
+		sizeGB   float64
+		duration int64
+		name     string
+	}{
+		{MusicVideo, 0.1, 300, "music-video"},
+		{TVShow, 0.5, 1800, "tv-show"},
+		{Movie1h, 1.0, 3600, "movie-1h"},
+		{Movie2h, 2.0, 7200, "movie-2h"},
+	}
+	for _, c := range cases {
+		if got := c.class.SizeGB(); got != c.sizeGB {
+			t.Errorf("%v.SizeGB() = %g, want %g", c.class, got, c.sizeGB)
+		}
+		if got := c.class.DurationSec(); got != c.duration {
+			t.Errorf("%v.DurationSec() = %d, want %d", c.class, got, c.duration)
+		}
+		if got := c.class.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.class, got, c.name)
+		}
+	}
+	if got := Class(99).String(); got != "class(99)" {
+		t.Errorf("invalid class String = %q", got)
+	}
+}
+
+func TestClassPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SizeGB on invalid class should panic")
+		}
+	}()
+	Class(99).SizeGB()
+}
+
+func TestGenerateBasics(t *testing.T) {
+	lib := Generate(Config{NumVideos: 500, Weeks: 4, NumSeries: 3}, 1)
+	if got := lib.Len(); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+	if lib.NumSeries != 3 {
+		t.Fatalf("NumSeries = %d, want 3", lib.NumSeries)
+	}
+	// IDs are dense and ordered.
+	for i, v := range lib.Videos {
+		if v.ID != i {
+			t.Fatalf("video %d has ID %d", i, v.ID)
+		}
+		if v.SizeGB != v.Class.SizeGB() {
+			t.Errorf("video %d size %g inconsistent with class %v", i, v.SizeGB, v.Class)
+		}
+		if v.RateMbps != StandardRateMbps {
+			t.Errorf("video %d rate %g, want %g", i, v.RateMbps, StandardRateMbps)
+		}
+	}
+	if lib.TotalSizeGB() <= 0 {
+		t.Error("TotalSizeGB must be positive")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{NumVideos: 300, Weeks: 3}, 42)
+	b := Generate(Config{NumVideos: 300, Weeks: 3}, 42)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Videos {
+		if a.Videos[i] != b.Videos[i] {
+			t.Fatalf("video %d differs: %+v vs %+v", i, a.Videos[i], b.Videos[i])
+		}
+	}
+	c := Generate(Config{NumVideos: 300, Weeks: 3}, 43)
+	same := true
+	for i := range a.Videos {
+		if a.Videos[i] != c.Videos[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical libraries")
+	}
+}
+
+func TestSeriesEpisodeSchedule(t *testing.T) {
+	lib := Generate(Config{NumVideos: 400, Weeks: 4, NumSeries: 2}, 7)
+	for s := 0; s < 2; s++ {
+		eps := lib.SeriesEpisodes(s)
+		if len(eps) != 4 { // episode 1 on day 0 plus one per later week
+			t.Fatalf("series %d has %d episodes, want 4", s, len(eps))
+		}
+		for i, e := range eps {
+			if e.Episode != i+1 {
+				t.Errorf("series %d episode order broken: %+v", s, e)
+			}
+			wantDay := 0
+			if i > 0 {
+				wantDay = 7 * i
+			}
+			if e.ReleaseDay != wantDay {
+				t.Errorf("series %d ep %d released day %d, want %d", s, e.Episode, e.ReleaseDay, wantDay)
+			}
+			if e.Class != TVShow {
+				t.Errorf("series episode has class %v", e.Class)
+			}
+		}
+	}
+}
+
+func TestPreviousEpisode(t *testing.T) {
+	lib := Generate(Config{NumVideos: 400, Weeks: 3, NumSeries: 1}, 7)
+	eps := lib.SeriesEpisodes(0)
+	if len(eps) < 2 {
+		t.Fatal("need at least 2 episodes")
+	}
+	prev, ok := lib.PreviousEpisode(eps[1])
+	if !ok {
+		t.Fatal("PreviousEpisode not found")
+	}
+	if prev.ID != eps[0].ID {
+		t.Errorf("PreviousEpisode = %d, want %d", prev.ID, eps[0].ID)
+	}
+	if _, ok := lib.PreviousEpisode(eps[0]); ok {
+		t.Error("episode 1 should have no previous episode")
+	}
+	if _, ok := lib.PreviousEpisode(lib.Videos[len(lib.Videos)-1]); lib.Videos[len(lib.Videos)-1].Series == NoSeries && ok {
+		t.Error("non-series video should have no previous episode")
+	}
+}
+
+func TestBlockbusters(t *testing.T) {
+	lib := Generate(Config{NumVideos: 1000, Weeks: 4, BlockbustersPerWeek: 2}, 3)
+	count := 0
+	for _, v := range lib.Videos {
+		if v.Blockbuster {
+			count++
+			if v.Class != Movie1h && v.Class != Movie2h {
+				t.Errorf("blockbuster %d has class %v, want a movie class", v.ID, v.Class)
+			}
+			if v.ReleaseDay == 0 {
+				t.Errorf("blockbuster %d released on day 0; should be new content", v.ID)
+			}
+		}
+	}
+	if count != 6 { // 2 per week for weeks 1..3
+		t.Errorf("blockbuster count = %d, want 6", count)
+	}
+}
+
+func TestAvailableOn(t *testing.T) {
+	lib := Generate(Config{NumVideos: 300, Weeks: 4}, 9)
+	day0 := len(lib.AvailableOn(0))
+	day27 := len(lib.AvailableOn(27))
+	if day0 >= day27 {
+		t.Errorf("library should grow: day0=%d day27=%d", day0, day27)
+	}
+	if day27 != lib.Len() {
+		t.Errorf("all videos should be out by day 27: %d vs %d", day27, lib.Len())
+	}
+}
+
+// Property: regardless of configuration, generation yields exactly NumVideos
+// videos, dense IDs, consistent class metadata, and release days within the
+// horizon.
+func TestGenerateProperties(t *testing.T) {
+	f := func(nRaw uint16, weeksRaw, seriesRaw uint8, seed int64) bool {
+		n := int(nRaw%2000) + 10
+		weeks := int(weeksRaw%6) + 1
+		series := int(seriesRaw%5) + 1
+		lib := Generate(Config{NumVideos: n, Weeks: weeks, NumSeries: series}, seed)
+		if lib.Len() != n {
+			return false
+		}
+		for i, v := range lib.Videos {
+			if v.ID != i ||
+				v.SizeGB != v.Class.SizeGB() ||
+				v.DurationSec != v.Class.DurationSec() ||
+				v.ReleaseDay < 0 || v.ReleaseDay >= weeks*7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	lib := Generate(Config{}, 1)
+	if lib.Len() != 1000 {
+		t.Errorf("default NumVideos = %d, want 1000", lib.Len())
+	}
+	for _, v := range lib.Videos {
+		if v.ReleaseDay != 0 {
+			t.Errorf("Weeks<=1 must release everything on day 0, got day %d", v.ReleaseDay)
+		}
+	}
+}

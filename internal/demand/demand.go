@@ -1,0 +1,295 @@
+// Package demand turns request-trace history into placement-MIP inputs: the
+// aggregate demands a_j^m, the peak-window concurrent-stream counts f_j^m(t),
+// and the §VI-A estimation strategies for videos that have no history yet —
+// new TV-series episodes (estimated from the previous episode), blockbusters
+// (estimated from the most popular recent movie), and everything else
+// (no estimate; absorbed by the complementary LRU cache at runtime).
+package demand
+
+import (
+	"fmt"
+	"sort"
+
+	"vodplace/internal/catalog"
+	"vodplace/internal/mip"
+	"vodplace/internal/topology"
+	"vodplace/internal/workload"
+)
+
+// Method selects how demand is forecast for the placement period.
+type Method int
+
+// Forecast methods of §VI-A / Table VI.
+const (
+	// History uses the previous HistoryDays of requests, plus series and
+	// blockbuster estimation for new releases (the paper's deployed
+	// strategy).
+	History Method = iota
+	// Perfect uses the actual requests of the placement period itself
+	// (the "perfect estimate" row of Table VI).
+	Perfect
+	// None uses history for existing videos but nothing for new releases
+	// (the "no estimate" row of Table VI).
+	None
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case History:
+		return "history"
+	case Perfect:
+		return "perfect"
+	case None:
+		return "no-estimate"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Config parameterizes instance building.
+type Config struct {
+	// Method is the forecast method. Default History.
+	Method Method
+	// HistoryDays is the look-back window. Default 7 (§VI-A).
+	HistoryDays int
+	// HorizonDays is the placement period the instance must cover (new
+	// videos released within it are included). Default 7.
+	HorizonDays int
+	// Slices is |T|, the number of peak windows whose link constraints are
+	// enforced. Default 2 (§VI-B).
+	Slices int
+	// WindowSec is the peak-window length. Default 3600 (1 h, the Table V
+	// sweet spot).
+	WindowSec int64
+	// SeriesEstimation enables new-episode estimation from the previous
+	// episode. Default true (disabled only by DisableSeriesEstimation).
+	DisableSeriesEstimation bool
+	// DisableBlockbusterEstimation disables blockbuster estimation.
+	DisableBlockbusterEstimation bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HistoryDays <= 0 {
+		out.HistoryDays = 7
+	}
+	if out.HorizonDays <= 0 {
+		out.HorizonDays = 7
+	}
+	if out.Slices <= 0 {
+		out.Slices = 2
+	}
+	if out.WindowSec <= 0 {
+		out.WindowSec = 3600
+	}
+	return out
+}
+
+// Builder assembles placement instances for successive placement days over
+// one trace.
+type Builder struct {
+	G           *topology.Graph
+	Lib         *catalog.Library
+	DiskGB      []float64
+	LinkCapMbps []float64
+	Cfg         Config
+}
+
+// profile is the demand observed for one video over a window.
+type profile struct {
+	agg  map[int32]float64   // office -> request count
+	conc []map[int32]float64 // per slice: office -> concurrent streams
+}
+
+// Instance builds the placement instance for the period starting at
+// placementDay. With Method History or None the inputs come from the
+// HistoryDays before placementDay; with Perfect, from the period itself.
+func (b *Builder) Instance(tr *workload.Trace, placementDay int) (*mip.Instance, error) {
+	cfg := b.Cfg.withDefaults()
+	if tr == nil {
+		return nil, fmt.Errorf("demand: nil trace")
+	}
+
+	var from, to int64
+	switch cfg.Method {
+	case Perfect:
+		from = int64(placementDay) * workload.SecondsPerDay
+		to = int64(placementDay+cfg.HorizonDays) * workload.SecondsPerDay
+	default:
+		histStart := placementDay - cfg.HistoryDays
+		if histStart < 0 {
+			histStart = 0
+		}
+		from = int64(histStart) * workload.SecondsPerDay
+		to = int64(placementDay) * workload.SecondsPerDay
+	}
+	if to <= from {
+		return nil, fmt.Errorf("demand: empty observation window [%d, %d)", from, to)
+	}
+
+	// Aggregate demand and peak-window concurrency over the observation
+	// window.
+	sub := tr.Slice(from, to)
+	aggCounts := tr.AggregateCounts(from, to)
+	windows := sub.TopPeakWindows(cfg.WindowSec, cfg.Slices)
+	concs := make([]map[workload.JM]int, len(windows))
+	for t, w := range windows {
+		concs[t] = tr.PeakConcurrency(w, w+cfg.WindowSec)
+	}
+
+	// Group by video.
+	profiles := make(map[int]*profile)
+	prof := func(v int) *profile {
+		p, ok := profiles[v]
+		if !ok {
+			p = &profile{agg: make(map[int32]float64), conc: make([]map[int32]float64, cfg.Slices)}
+			for t := range p.conc {
+				p.conc[t] = make(map[int32]float64)
+			}
+			profiles[v] = p
+		}
+		return p
+	}
+	for key, c := range aggCounts {
+		j, m := key.Split()
+		prof(m).agg[int32(j)] += float64(c)
+	}
+	for t := range concs {
+		if t >= cfg.Slices {
+			break
+		}
+		for key, c := range concs[t] {
+			j, m := key.Split()
+			prof(m).conc[t][int32(j)] += float64(c)
+		}
+	}
+
+	// Scale up partially observed videos (released mid-history): their
+	// counts cover fewer days than the full window.
+	if cfg.Method != Perfect {
+		histStart := int(from / workload.SecondsPerDay)
+		for v, p := range profiles {
+			rel := b.Lib.Videos[v].ReleaseDay
+			if rel <= histStart {
+				continue
+			}
+			observed := placementDay - rel
+			if observed < 1 {
+				observed = 1
+			}
+			scale := float64(cfg.HistoryDays) / float64(observed)
+			if scale > 3 {
+				scale = 3
+			}
+			for j := range p.agg {
+				p.agg[j] *= scale
+			}
+			// Concurrency is a peak, not a sum; leave it unscaled.
+		}
+	}
+
+	// Estimation for videos released during the placement period.
+	if cfg.Method == History {
+		b.estimateNewVideos(profiles, placementDay, cfg)
+	}
+
+	// Assemble VideoDemand for every video available during the period.
+	lastDay := placementDay + cfg.HorizonDays
+	var demands []mip.VideoDemand
+	for _, v := range b.Lib.Videos {
+		if v.ReleaseDay >= lastDay {
+			continue
+		}
+		d := mip.VideoDemand{
+			Video:    v.ID,
+			SizeGB:   v.SizeGB,
+			RateMbps: v.RateMbps,
+			Conc:     make([][]float64, cfg.Slices),
+		}
+		if p, ok := profiles[v.ID]; ok {
+			js := make([]int32, 0, len(p.agg))
+			for j := range p.agg {
+				js = append(js, j)
+			}
+			sort.Slice(js, func(a, b int) bool { return js[a] < js[b] })
+			d.Js = js
+			d.Agg = make([]float64, len(js))
+			for k, j := range js {
+				d.Agg[k] = p.agg[j]
+			}
+			for t := 0; t < cfg.Slices; t++ {
+				d.Conc[t] = make([]float64, len(js))
+				for k, j := range js {
+					d.Conc[t][k] = p.conc[t][j]
+				}
+			}
+		} else {
+			for t := 0; t < cfg.Slices; t++ {
+				d.Conc[t] = []float64{}
+			}
+		}
+		demands = append(demands, d)
+	}
+
+	return mip.NewInstance(b.G, b.DiskGB, b.LinkCapMbps, cfg.Slices, demands)
+}
+
+// estimateNewVideos adds §VI-A estimated profiles for videos released in
+// [placementDay, placementDay+HorizonDays) that have no history.
+func (b *Builder) estimateNewVideos(profiles map[int]*profile, placementDay int, cfg Config) {
+	// Most popular movie of the window, for blockbuster estimation.
+	bestMovie, bestMovieAgg := -1, 0.0
+	if !cfg.DisableBlockbusterEstimation {
+		for v, p := range profiles {
+			vid := b.Lib.Videos[v]
+			if vid.Class != catalog.Movie1h && vid.Class != catalog.Movie2h {
+				continue
+			}
+			var total float64
+			for _, a := range p.agg {
+				total += a
+			}
+			if total > bestMovieAgg {
+				bestMovieAgg, bestMovie = total, v
+			}
+		}
+	}
+
+	lastDay := placementDay + cfg.HorizonDays
+	for i := range b.Lib.Videos {
+		v := b.Lib.Videos[i]
+		if v.ReleaseDay < placementDay || v.ReleaseDay >= lastDay {
+			continue
+		}
+		if _, seen := profiles[v.ID]; seen {
+			continue
+		}
+		var src int = -1
+		switch {
+		case v.Series != catalog.NoSeries && !cfg.DisableSeriesEstimation:
+			if prev, ok := b.Lib.PreviousEpisode(v); ok {
+				if _, has := profiles[prev.ID]; has {
+					src = prev.ID
+				}
+			}
+		case v.Blockbuster && bestMovie >= 0:
+			src = bestMovie
+		}
+		if src < 0 {
+			continue
+		}
+		srcP := profiles[src]
+		p := &profile{agg: make(map[int32]float64, len(srcP.agg)), conc: make([]map[int32]float64, cfg.Slices)}
+		for j, a := range srcP.agg {
+			p.agg[j] = a
+		}
+		for t := range p.conc {
+			p.conc[t] = make(map[int32]float64, len(srcP.conc[t]))
+			for j, c := range srcP.conc[t] {
+				p.conc[t][j] = c
+			}
+		}
+		profiles[v.ID] = p
+	}
+}

@@ -1,0 +1,1163 @@
+// Package epf implements the paper's core contribution: solving the
+// content-placement LP relaxation with the exponential potential function
+// (EPF) method — a Dantzig-Wolfe/Lagrangian decomposition in which each
+// video is an independent block (a fractional uncapacitated facility
+// location problem) and the coupling disk and link constraints are priced
+// into block costs through exponential penalties (Appendix, Algorithm 1).
+//
+// The solver maintains a point z in the product of block polytopes and the
+// activities of all coupling rows. Each pass:
+//
+//  1. shuffles the blocks (the paper reports a 40x pass reduction from
+//     re-randomizing the round-robin order) and partitions them into chunks;
+//  2. for each chunk, freezes the dual weights π derived from the potential,
+//     optimizes every block in the chunk in parallel against those duals
+//     (greedy + local-search facility location), then applies the steps
+//     sequentially, each with an exact 1-D line search on the potential;
+//  3. shrinks the scale δ when the maximum relative infeasibility drops,
+//     which sharpens the penalty exponent α(δ) = γ·ln(m+1)/δ;
+//  4. computes a Lagrangian lower bound LR(λ̄) from smoothed duals λ̄ using
+//     per-block *dual ascent* bounds (a primal heuristic value would not be
+//     a valid bound), and retargets the objective row at the new bound.
+//
+// Termination: the current point is ε-feasible (all coupling rows within
+// 1+ε of capacity) and its objective is within 1+ε of the lower bound —
+// the "within 1–2% of optimal" guarantee the paper reports.
+//
+// Integer rounding (§V-D) is implemented in round.go in this package, since
+// it reuses the live potential state.
+package epf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vodplace/internal/facloc"
+	"vodplace/internal/mip"
+)
+
+// Options configures the solver. The zero value selects the defaults the
+// paper's experiments use (ε = 1%).
+type Options struct {
+	// Epsilon is the feasibility/optimality tolerance ε. Default 0.01.
+	Epsilon float64
+	// Gamma is the exponent factor γ ≈ 1 in α(δ) = γ·ln(m+1)/δ. Default 1.
+	Gamma float64
+	// Rho is the dual smoothing parameter ρ ∈ [0,1). Default 0.5.
+	Rho float64
+	// ChunkSize is the number of blocks optimized against one frozen dual
+	// vector. Default 128.
+	ChunkSize int
+	// MaxPasses bounds the number of full passes. Default 300.
+	MaxPasses int
+	// Workers is the parallelism for block optimization. Default NumCPU.
+	Workers int
+	// Seed drives block shuffling. Default 1.
+	Seed int64
+	// LBEvery computes the Lagrangian lower bound every this many passes.
+	// Default 1 (every pass, as in Algorithm 1).
+	LBEvery int
+	// NoShuffle processes blocks in a fixed order instead of re-randomizing
+	// each pass. Exists for the ablation of the paper's observation that
+	// re-shuffling cuts pass counts by a large factor; never set it in
+	// production use.
+	NoShuffle bool
+	// OnPass, when non-nil, is invoked after every pass with progress
+	// information (used by the CLI tools for -v output).
+	OnPass func(PassInfo)
+}
+
+// PassInfo reports solver progress after a pass.
+type PassInfo struct {
+	Pass       int
+	Objective  float64
+	LowerBound float64
+	MaxViol    float64 // δ_c(z): max relative coupling-row violation
+	Delta      float64 // current scale δ
+	UpperBound float64 // best ε-feasible objective so far (+Inf if none)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Epsilon <= 0 {
+		out.Epsilon = 0.01
+	}
+	if out.Gamma <= 0 {
+		out.Gamma = 1
+	}
+	if out.Rho < 0 || out.Rho >= 1 {
+		out.Rho = 0.5
+	}
+	// ChunkSize 0 means adaptive: chosen per instance so that a pass spans
+	// many dual refreshes (small instances) without sacrificing batching on
+	// large ones. Resolved in newSolver.
+	if out.MaxPasses <= 0 {
+		out.MaxPasses = 300
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.NumCPU()
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.LBEvery <= 0 {
+		out.LBEvery = 1
+	}
+	return out
+}
+
+// Result is the solver output.
+type Result struct {
+	// Sol is the best solution found. After Solve it is the final fractional
+	// point (ε-feasible when Converged); after SolveInteger every y is 0/1.
+	Sol *mip.Solution
+	// LowerBound is the best Lagrangian bound on the LP optimum; it is also
+	// a bound on the MIP optimum.
+	LowerBound float64
+	// Objective is Sol's objective value.
+	Objective float64
+	// Gap is (Objective − LowerBound)/LowerBound (0 when LowerBound is 0).
+	Gap float64
+	// Violation summarizes Sol's constraint violations.
+	Violation mip.Violation
+	// Passes is the number of gradient-descent passes performed.
+	Passes int
+	// Converged reports whether the ε-feasible/ε-optimal criterion was met
+	// in the LP phase.
+	Converged bool
+	// Rounded reports whether the integer rounding pass ran.
+	Rounded bool
+}
+
+// blockSol is the solver-internal per-video fractional solution.
+type blockSol struct {
+	open   []mip.Frac   // sparse y, ascending office
+	assign [][]mip.Frac // per demand index, sparse x
+}
+
+// intSol is an integer block solution produced by facility location.
+type intSol struct {
+	open   []int32
+	assign []int32
+}
+
+type solver struct {
+	inst *mip.Instance
+	opts Options
+
+	n, L, T int
+	rows    int       // coupling rows: n disk + L·T link
+	b       []float64 // row capacities
+	act     []float64 // row activities A·z
+	obj     float64   // current objective c·z
+	bObj    float64   // objective target B
+
+	lb, ub float64
+	delta  float64
+	alpha  float64
+
+	sol      []blockSol
+	best     []blockSol // snapshot of the incumbent ε-feasible point
+	haveUB   bool
+	qBar     []float64 // smoothed normalized duals (resource rows)
+	qBarSet  bool
+	lbScale  float64   // adaptive multiplier for the Lagrangian dual vector
+	bPremium float64   // FEAS(B) target premium over the proven bound
+	bFloor   float64   // absolute floor for the objective target
+	qTmp     []float64 // scaled-dual scratch for lower-bound evaluations
+	qLB      []float64 // persistent polished dual vector (nil until first polish)
+	lbStall  int       // passes since the lower bound last improved
+	polishes int       // completed polish rounds (decays the ascent step)
+
+	rng *rand.Rand
+
+	// sequential-apply scratch
+	acc     []float64
+	touched []int32
+	yBuf    []float64
+	// frozen duals scratch (rebuilt per chunk)
+	q        []float64
+	pathDual [][]float64 // [t][i*n+j]
+}
+
+func (s *solver) rowDisk(i int) int    { return i }
+func (s *solver) rowLink(l, t int) int { return s.n + t*s.L + l }
+
+// Solve runs the EPF LP solver on inst and returns the fractional result.
+func Solve(inst *mip.Instance, opts Options) (*Result, error) {
+	s, err := newSolver(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := s.run()
+	return res, nil
+}
+
+// SolveInteger runs Solve and then the §V-D rounding pass, returning an
+// integral placement.
+func SolveInteger(inst *mip.Instance, opts Options) (*Result, error) {
+	s, err := newSolver(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := s.run()
+	s.round(res)
+	return res, nil
+}
+
+func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("epf: nil instance")
+	}
+	o := opts.withDefaults()
+	s := &solver{
+		inst: inst,
+		opts: o,
+		n:    inst.NumVHOs(),
+		L:    inst.G.NumLinks(),
+		T:    inst.Slices,
+		rng:  rand.New(rand.NewSource(o.Seed)),
+	}
+	s.rows = s.n + s.L*s.T
+	s.b = make([]float64, s.rows)
+	for i := 0; i < s.n; i++ {
+		s.b[s.rowDisk(i)] = inst.DiskGB[i]
+	}
+	for t := 0; t < s.T; t++ {
+		for l := 0; l < s.L; l++ {
+			s.b[s.rowLink(l, t)] = inst.LinkCapMbps[l]
+		}
+	}
+	s.act = make([]float64, s.rows)
+	s.acc = make([]float64, s.rows)
+	s.touched = make([]int32, 0, s.rows)
+	s.yBuf = make([]float64, s.n)
+	s.q = make([]float64, s.rows)
+	s.qBar = make([]float64, s.rows)
+	s.qTmp = make([]float64, s.rows)
+	s.lbScale = 1
+	if s.opts.ChunkSize <= 0 {
+		// Adaptive: at least ~24 dual refreshes per pass, chunk in [8, 256].
+		cs := len(inst.Demands) / 24
+		if cs < 8 {
+			cs = 8
+		}
+		if cs > 256 {
+			cs = 256
+		}
+		s.opts.ChunkSize = cs
+	}
+	s.pathDual = make([][]float64, s.T)
+	for t := range s.pathDual {
+		s.pathDual[t] = make([]float64, s.n*s.n)
+	}
+	s.initSolution()
+	return s, nil
+}
+
+// initSolution places one copy of each video at its highest-demand office
+// and serves everything from there, then computes activities from scratch.
+func (s *solver) initSolution() {
+	s.sol = make([]blockSol, len(s.inst.Demands))
+	for vi := range s.inst.Demands {
+		d := &s.inst.Demands[vi]
+		home := int32(vi % s.n)
+		var bestA float64 = -1
+		for k, a := range d.Agg {
+			if a > bestA {
+				bestA = a
+				home = d.Js[k]
+			}
+		}
+		bs := &s.sol[vi]
+		bs.open = []mip.Frac{{I: home, V: 1}}
+		bs.assign = make([][]mip.Frac, len(d.Js))
+		for k := range bs.assign {
+			bs.assign[k] = []mip.Frac{{I: home, V: 1}}
+		}
+	}
+	s.recomputeState()
+}
+
+// recomputeState rebuilds act and obj from the current solution.
+func (s *solver) recomputeState() {
+	for r := range s.act {
+		s.act[r] = 0
+	}
+	s.obj = 0
+	for vi := range s.sol {
+		s.addBlockRows(vi, &s.sol[vi], +1)
+		s.obj += s.blockCost(vi, &s.sol[vi])
+	}
+}
+
+// addBlockRows adds (sign=+1) or removes (sign=-1) block vi's contribution
+// to the coupling-row activities.
+func (s *solver) addBlockRows(vi int, bs *blockSol, sign float64) {
+	d := &s.inst.Demands[vi]
+	for _, f := range bs.open {
+		s.act[s.rowDisk(int(f.I))] += sign * d.SizeGB * f.V
+	}
+	if s.T == 0 {
+		return
+	}
+	for k, fr := range bs.assign {
+		j := int(d.Js[k])
+		for _, f := range fr {
+			if int(f.I) == j || f.V == 0 {
+				continue
+			}
+			path := s.inst.G.Path(int(f.I), j)
+			for t := 0; t < s.T; t++ {
+				flow := sign * d.RateMbps * d.Conc[t][k] * f.V
+				if flow == 0 {
+					continue
+				}
+				for _, l := range path {
+					s.act[s.rowLink(l, t)] += flow
+				}
+			}
+		}
+	}
+}
+
+// blockCost returns block vi's objective contribution.
+func (s *solver) blockCost(vi int, bs *blockSol) float64 {
+	d := &s.inst.Demands[vi]
+	var c float64
+	for k, fr := range bs.assign {
+		j := int(d.Js[k])
+		coef := d.SizeGB * d.Agg[k]
+		for _, f := range fr {
+			c += coef * s.inst.Cost(int(f.I), j) * f.V
+		}
+	}
+	if s.inst.UpdateWeight != 0 {
+		for _, f := range bs.open {
+			c += s.inst.PlacementCost(vi, int(f.I)) * f.V
+		}
+	}
+	return c
+}
+
+// maxCouplingViol returns δ_c(z) = max_r (act_r/b_r − 1), and the value of
+// r_0(z) = obj/B − 1.
+func (s *solver) maxCouplingViol() (float64, float64) {
+	dc := math.Inf(-1)
+	for r := 0; r < s.rows; r++ {
+		if v := s.act[r]/s.b[r] - 1; v > dc {
+			dc = v
+		}
+	}
+	return dc, s.obj/s.bObj - 1
+}
+
+func expClamp(x float64) float64 {
+	if x > 500 {
+		x = 500
+	}
+	if x < -500 {
+		return 0
+	}
+	return math.Exp(x)
+}
+
+// computeDuals fills s.q with the normalized dual weights
+// q_r = (B/b_r)·exp(α(r_r − r_0)) used as block prices: the block objective
+// is c^k·z + Σ_r q_r·(A^k z)_r, a positive rescaling of the potential
+// gradient direction c(π^δ(z)).
+func (s *solver) computeDuals(q []float64) {
+	r0 := s.obj/s.bObj - 1
+	for r := 0; r < s.rows; r++ {
+		rr := s.act[r]/s.b[r] - 1
+		e := s.alpha * (rr - r0)
+		if e > 300 {
+			// A row this much hotter than the objective row is effectively
+			// infinitely priced; cap to keep block costs finite. Any finite
+			// non-negative dual vector still yields a valid Lagrangian bound.
+			e = 300
+		}
+		q[r] = clampDual(s.bObj / s.b[r] * math.Exp(e))
+	}
+}
+
+// maxDual caps dual prices. On infeasible FEAS(B) instances the Lagrangian
+// bound legitimately diverges (that divergence is the infeasibility
+// certificate) and the B ← LB feedback would push prices to +Inf and then
+// NaN within a few passes; clamping keeps the arithmetic finite, and a
+// clamped lower bound is still a valid lower bound.
+const maxDual = 1e120
+
+func clampDual(v float64) float64 {
+	if math.IsNaN(v) || v > maxDual {
+		return maxDual
+	}
+	return v
+}
+
+// refreshDiskDuals recomputes only the disk rows of q from the live
+// activities (used by the rounding pass between videos; link rows keep their
+// chunk-frozen values).
+func (s *solver) refreshDiskDuals(q []float64) {
+	r0 := s.obj/s.bObj - 1
+	for i := 0; i < s.n; i++ {
+		r := s.rowDisk(i)
+		rr := s.act[r]/s.b[r] - 1
+		e := s.alpha * (rr - r0)
+		if e > 300 {
+			e = 300
+		}
+		q[r] = clampDual(s.bObj / s.b[r] * math.Exp(e))
+	}
+}
+
+// computePathDuals aggregates q over the fixed paths:
+// pathDual[t][i*n+j] = Σ_{l ∈ P_ij} q[link(l,t)].
+func (s *solver) computePathDuals(q []float64) {
+	for t := 0; t < s.T; t++ {
+		pd := s.pathDual[t]
+		for i := 0; i < s.n; i++ {
+			for j := 0; j < s.n; j++ {
+				if i == j {
+					pd[i*s.n+j] = 0
+					continue
+				}
+				var sum float64
+				for _, l := range s.inst.G.Path(i, j) {
+					sum += q[s.rowLink(l, t)]
+				}
+				pd[i*s.n+j] = sum
+			}
+		}
+	}
+}
+
+// buildBlockProblem fills prob with video vi's facility-location block under
+// the frozen duals (q via pathDual). Open cost: disk dual price plus any
+// placement-transfer cost; assignment cost: transfer objective plus link
+// dual prices along the path.
+func (s *solver) buildBlockProblem(vi int, q []float64, prob *facloc.Problem) {
+	d := &s.inst.Demands[vi]
+	n := s.n
+	if cap(prob.Open) < n {
+		prob.Open = make([]float64, n)
+	}
+	prob.Open = prob.Open[:n]
+	for i := 0; i < n; i++ {
+		prob.Open[i] = q[s.rowDisk(i)]*d.SizeGB + s.inst.PlacementCost(vi, i)
+	}
+	K := len(d.Js)
+	if cap(prob.Assign) < K {
+		prob.Assign = make([][]float64, K)
+	}
+	prob.Assign = prob.Assign[:K]
+	for k := 0; k < K; k++ {
+		if cap(prob.Assign[k]) < n {
+			prob.Assign[k] = make([]float64, n)
+		}
+		row := prob.Assign[k][:n]
+		prob.Assign[k] = row
+		j := int(d.Js[k])
+		coef := d.SizeGB * d.Agg[k]
+		for i := 0; i < n; i++ {
+			c := coef * s.inst.Cost(i, j)
+			for t := 0; t < s.T; t++ {
+				f := d.Conc[t][k]
+				if f != 0 {
+					c += d.RateMbps * f * s.pathDual[t][i*s.n+j]
+				}
+			}
+			row[i] = c
+		}
+	}
+}
+
+// run executes Algorithm 1's main loop and returns the fractional result.
+func (s *solver) run() *Result {
+	o := s.opts
+	m := float64(s.rows)
+	lnM1 := math.Log(m + 1)
+
+	// Initial lower bound: the no-capacity-pressure bound (every request
+	// served at cost β). With β = 0 this is 0, so floor the objective
+	// target to keep r_0 well defined.
+	s.lb = s.inst.LowerBoundNoNetwork()
+	s.ub = math.Inf(1)
+	s.bPremium = 1
+	s.bFloor = math.Max(1e-9, 1e-3*s.obj)
+	s.retargetB()
+
+	dc, r0 := s.maxCouplingViol()
+	s.delta = math.Max(math.Max(dc, r0), o.Epsilon/2)
+	s.alpha = o.Gamma * lnM1 / s.delta
+
+	numBlocks := len(s.sol)
+	perm := make([]int, numBlocks)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	chunkSols := make([]intSol, o.ChunkSize)
+	var res *Result
+
+	workers := o.Workers
+	if workers > o.ChunkSize {
+		workers = o.ChunkSize
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	pass := 0
+	var dcHist []float64
+	for pass = 1; pass <= o.MaxPasses; pass++ {
+		if !o.NoShuffle {
+			s.rng.Shuffle(numBlocks, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		}
+
+		for lo := 0; lo < numBlocks; lo += o.ChunkSize {
+			hi := lo + o.ChunkSize
+			if hi > numBlocks {
+				hi = numBlocks
+			}
+			// Freeze duals for the chunk.
+			s.computeDuals(s.q)
+			s.computePathDuals(s.q)
+
+			// Parallel block optimization.
+			chunk := perm[lo:hi]
+			var wg sync.WaitGroup
+			per := (len(chunk) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				wlo := w * per
+				whi := wlo + per
+				if whi > len(chunk) {
+					whi = len(chunk)
+				}
+				if wlo >= whi {
+					break
+				}
+				wg.Add(1)
+				go func(wlo, whi int) {
+					defer wg.Done()
+					var fs facloc.Solver
+					var prob facloc.Problem
+					for c := wlo; c < whi; c++ {
+						vi := chunk[c]
+						s.buildBlockProblem(vi, s.q, &prob)
+						sol := fs.SolveQuick(&prob)
+						chunkSols[c] = toIntSol(&sol, &s.inst.Demands[vi])
+					}
+				}(wlo, whi)
+			}
+			wg.Wait()
+
+			// Sequential application with line search.
+			for c, vi := range chunk {
+				s.applyBlock(vi, &chunkSols[c])
+			}
+
+			// Step 11: shrink the scale when the point got less infeasible.
+			dc, r0 = s.maxCouplingViol()
+			dz := math.Max(math.Max(dc, r0), o.Epsilon/2)
+			if dz < s.delta {
+				s.delta = dz
+				s.alpha = o.Gamma * lnM1 / s.delta
+			}
+		}
+
+		// Periodic exact refresh: incremental activity updates accumulate
+		// floating-point drift over thousands of block steps.
+		if pass%8 == 0 {
+			s.recomputeState()
+		}
+
+		// Incumbent update (step 12).
+		dc, _ = s.maxCouplingViol()
+		if dc <= o.Epsilon && s.obj < s.ub {
+			s.ub = s.obj
+			s.snapshotBest()
+			s.haveUB = true
+		}
+		if s.done(o.Epsilon) {
+			break
+		}
+
+		// FEAS(B) stall detection: when B (the objective-row target) sits
+		// below the true LP optimum — because the Lagrangian bound has not
+		// caught up — the coupling violation plateaus at a positive level
+		// instead of reaching ε: the potential is balancing a constraint
+		// that cannot be met. Raising the guess B is exactly the move the
+		// FEAS(B) framework prescribes; the reported lower bound stays the
+		// proven LR value, so the final optimality gap remains honest.
+		// FEAS(B) rescue: if no ε-feasible point has appeared by late in
+		// the pass budget, the guess B is likely below the LP optimum (the
+		// Lagrangian bound has not caught up) and the violation plateaus —
+		// the potential is balancing a target that cannot be met. Raising
+		// the guess is the move the FEAS(B) framework prescribes; it runs
+		// only as a late rescue because it sacrifices objective pressure.
+		// The first incumbent resets the premium so the normal dynamics
+		// resume, and the incumbent snapshot protects what was found.
+		dcHist = append(dcHist, dc)
+		switch {
+		case s.haveUB && s.bPremium > 1:
+			s.bPremium = 1
+			s.retargetB()
+		case !s.haveUB && pass > o.MaxPasses*3/4 && dc > 1.8*o.Epsilon && len(dcHist) >= 8:
+			ref := dcHist[len(dcHist)-8]
+			if ref-dc < 0.05*(dc-o.Epsilon) {
+				s.bPremium = math.Min(1.5, s.bPremium*1.03)
+				s.retargetB()
+				dcHist = dcHist[:0] // give the new target time to act
+			}
+		}
+
+		// Lower-bound pass (steps 14-15) with smoothed duals. LR(λ) is not
+		// scale-invariant in λ even though the block *directions* are, so a
+		// short adaptive search over multiplicative scalings of the dual
+		// vector is run each time; the best scale is carried to the next
+		// pass. This is one of the update-mechanism tweaks the paper alludes
+		// to in the Appendix.
+		if pass%o.LBEvery == 0 {
+			s.computeDuals(s.q)
+			if !s.qBarSet {
+				copy(s.qBar, s.q)
+				s.qBarSet = true
+			} else {
+				for r := range s.qBar {
+					s.qBar[r] = o.Rho*s.qBar[r] + (1-o.Rho)*s.q[r]
+				}
+			}
+			bestScale := s.lbScale
+			bestLR := math.Inf(-1)
+			// The three-point scale search costs two extra full block
+			// passes; run it while the duals are still moving (early
+			// passes) and periodically afterwards, with a single
+			// evaluation at the carried scale in between.
+			mults := []float64{0.5, 1, 2}
+			if pass > 8 && pass%3 != 0 {
+				mults = []float64{1}
+			}
+			for _, mult := range mults {
+				scale := s.lbScale * mult
+				for r := range s.qTmp {
+					s.qTmp[r] = scale * s.qBar[r]
+				}
+				if lr := s.lagrangianBound(s.qTmp, workers); lr > bestLR {
+					bestLR, bestScale = lr, scale
+				}
+			}
+			s.lbScale = bestScale
+			if bestLR > s.lb+1e-12*math.Abs(s.lb) {
+				s.lb = bestLR
+				s.lbStall = 0
+			} else {
+				s.lbStall++
+			}
+			// When the potential-derived duals stop improving the bound,
+			// polish the dual vector directly with subgradient ascent.
+			if s.lbStall >= 3 {
+				s.polishLB(workers)
+				s.lbStall = 0
+			}
+			s.retargetB()
+			if s.done(o.Epsilon) {
+				break
+			}
+		}
+
+		if o.OnPass != nil {
+			dc, _ = s.maxCouplingViol()
+			o.OnPass(PassInfo{
+				Pass: pass, Objective: s.obj, LowerBound: s.lb,
+				MaxViol: dc, Delta: s.delta, UpperBound: s.ub,
+			})
+		}
+	}
+	if pass > o.MaxPasses {
+		pass = o.MaxPasses
+	}
+
+	converged := s.done(o.Epsilon)
+	// Prefer the incumbent; fall back to the current point.
+	if s.haveUB {
+		s.restoreBest()
+		s.recomputeState()
+	}
+	res = s.buildResult(pass, converged)
+	return res
+}
+
+// retargetB recomputes the objective-row target from the proven bound and
+// the current premium.
+func (s *solver) retargetB() {
+	s.bObj = math.Max(s.lb*s.bPremium, s.bFloor)
+}
+
+// done reports the Algorithm 1 termination criterion. A tiny absolute slack
+// keeps instances with OPT = 0 (no capacity pressure, β = 0) terminating.
+func (s *solver) done(eps float64) bool {
+	if !s.haveUB {
+		return false
+	}
+	return s.ub <= (1+eps)*s.lb+1e-9
+}
+
+func (s *solver) buildResult(passes int, converged bool) *Result {
+	out := mip.NewSolution(s.inst)
+	for vi := range s.sol {
+		out.Videos[vi].Open = append([]mip.Frac(nil), s.sol[vi].open...)
+		for k := range s.sol[vi].assign {
+			out.Videos[vi].Assign[k] = append([]mip.Frac(nil), s.sol[vi].assign[k]...)
+		}
+	}
+	obj := out.Objective()
+	gap := 0.0
+	if s.lb > 1e-12 {
+		gap = (obj - s.lb) / s.lb
+	}
+	return &Result{
+		Sol:        out,
+		LowerBound: s.lb,
+		Objective:  obj,
+		Gap:        gap,
+		Violation:  out.Check(),
+		Passes:     passes,
+		Converged:  converged,
+	}
+}
+
+func (s *solver) snapshotBest() {
+	if s.best == nil {
+		s.best = make([]blockSol, len(s.sol))
+	}
+	for vi := range s.sol {
+		src := &s.sol[vi]
+		dst := &s.best[vi]
+		dst.open = append(dst.open[:0], src.open...)
+		if dst.assign == nil {
+			dst.assign = make([][]mip.Frac, len(src.assign))
+		}
+		for k := range src.assign {
+			dst.assign[k] = append(dst.assign[k][:0], src.assign[k]...)
+		}
+	}
+}
+
+func (s *solver) restoreBest() {
+	for vi := range s.best {
+		src := &s.best[vi]
+		dst := &s.sol[vi]
+		dst.open = append(dst.open[:0], src.open...)
+		for k := range src.assign {
+			dst.assign[k] = append(dst.assign[k][:0], src.assign[k]...)
+		}
+	}
+}
+
+// toIntSol converts a facility-location solution to an intSol, dropping
+// opened facilities that serve no demand (they only consume disk). For
+// zero-demand videos the single cheapest facility is kept: the video must
+// be stored somewhere.
+func toIntSol(fsol *facloc.Solution, d *mip.VideoDemand) intSol {
+	var out intSol
+	if len(d.Js) == 0 {
+		if len(fsol.Open) > 0 {
+			out.open = []int32{int32(fsol.Open[0])}
+		}
+		return out
+	}
+	used := make(map[int]bool, len(fsol.Open))
+	out.assign = make([]int32, len(fsol.Assign))
+	for k, i := range fsol.Assign {
+		out.assign[k] = int32(i)
+		used[i] = true
+	}
+	for _, i := range fsol.Open {
+		if used[i] {
+			out.open = append(out.open, int32(i))
+		}
+	}
+	sort.Slice(out.open, func(a, b int) bool { return out.open[a] < out.open[b] })
+	return out
+}
+
+// applyBlock replaces block vi by a convex combination of its current
+// solution and the integer solution ns, with the mixing weight chosen by an
+// exact line search on the potential. Activities and objective are updated
+// incrementally.
+func (s *solver) applyBlock(vi int, ns *intSol) {
+	d := &s.inst.Demands[vi]
+	old := &s.sol[vi]
+
+	// Deltas: new block rows minus old block rows, into s.acc/s.touched.
+	s.touched = s.touched[:0]
+	addRow := func(r int, v float64) {
+		if s.acc[r] == 0 && v != 0 {
+			s.touched = append(s.touched, int32(r))
+		}
+		s.acc[r] += v
+	}
+	// Old contribution, negated.
+	for _, f := range old.open {
+		addRow(s.rowDisk(int(f.I)), -d.SizeGB*f.V)
+	}
+	for k, fr := range old.assign {
+		j := int(d.Js[k])
+		for _, f := range fr {
+			if int(f.I) == j || f.V == 0 {
+				continue
+			}
+			path := s.inst.G.Path(int(f.I), j)
+			for t := 0; t < s.T; t++ {
+				flow := d.RateMbps * d.Conc[t][k] * f.V
+				if flow == 0 {
+					continue
+				}
+				for _, l := range path {
+					addRow(s.rowLink(l, t), -flow)
+				}
+			}
+		}
+	}
+	// New contribution.
+	for _, i := range ns.open {
+		addRow(s.rowDisk(int(i)), d.SizeGB)
+	}
+	var dObj float64
+	dObj -= s.blockCost(vi, old)
+	for k, i := range ns.assign {
+		j := int(d.Js[k])
+		dObj += d.SizeGB * d.Agg[k] * s.inst.Cost(int(i), j)
+		if int(i) == j {
+			continue
+		}
+		path := s.inst.G.Path(int(i), j)
+		for t := 0; t < s.T; t++ {
+			flow := d.RateMbps * d.Conc[t][k]
+			if flow == 0 {
+				continue
+			}
+			for _, l := range path {
+				addRow(s.rowLink(l, t), flow)
+			}
+		}
+	}
+	if s.inst.UpdateWeight != 0 {
+		for _, i := range ns.open {
+			dObj += s.inst.PlacementCost(vi, int(i))
+		}
+	}
+
+	tau := s.lineSearch(dObj)
+	if tau > 0 {
+		// Remove the old block's rows and cost, replace the block, add the
+		// new (mixed and y-tightened) contribution back.
+		s.addBlockRows(vi, old, -1)
+		oldCost := s.blockCost(vi, old)
+		s.mixBlock(vi, ns, tau)
+		s.addBlockRows(vi, &s.sol[vi], +1)
+		s.obj += s.blockCost(vi, &s.sol[vi]) - oldCost
+	}
+	// Clear scratch.
+	for _, r := range s.touched {
+		s.acc[r] = 0
+	}
+	s.touched = s.touched[:0]
+}
+
+// lineSearch minimizes Φ(z + τ·Δ) over τ ∈ [0, 1] given the sparse row
+// deltas in s.acc/s.touched and the objective delta. Φ is convex in τ, so
+// bisection on the (sign of the) derivative suffices.
+func (s *solver) lineSearch(dObj float64) float64 {
+	deriv := func(tau float64) float64 {
+		var dsum float64
+		for _, r := range s.touched {
+			delta := s.acc[r]
+			if delta == 0 {
+				continue
+			}
+			rr := (s.act[r]+tau*delta)/s.b[r] - 1
+			dsum += delta / s.b[r] * expClamp(s.alpha*rr)
+		}
+		if dObj != 0 {
+			rr0 := (s.obj+tau*dObj)/s.bObj - 1
+			dsum += dObj / s.bObj * expClamp(s.alpha*rr0)
+		}
+		return dsum
+	}
+	if deriv(0) >= 0 {
+		return 0
+	}
+	if deriv(1) <= 0 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 30; iter++ {
+		mid := (lo + hi) / 2
+		if deriv(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// mixBlock sets s.sol[vi] ← (1−τ)·old + τ·ns, then tightens y to the
+// pointwise maximum of the assignments (feasible and never worse for the
+// potential) and prunes negligible entries.
+func (s *solver) mixBlock(vi int, ns *intSol, tau float64) {
+	d := &s.inst.Demands[vi]
+	old := &s.sol[vi]
+	const prune = 1e-12
+
+	if tau >= 1 {
+		// Full replacement.
+		old.open = old.open[:0]
+		for _, i := range ns.open {
+			old.open = append(old.open, mip.Frac{I: i, V: 1})
+		}
+		for k := range old.assign {
+			old.assign[k] = append(old.assign[k][:0], mip.Frac{I: ns.assign[k], V: 1})
+		}
+		return
+	}
+
+	// Mix assignments per demand point; track per-office max for y.
+	y := s.yBuf
+	for i := range y {
+		y[i] = 0
+	}
+	for k := range old.assign {
+		merged := mergeFracs(old.assign[k], ns.assign[k], tau, prune)
+		old.assign[k] = merged
+		// Renormalize to sum exactly 1 (pruning can nudge it off).
+		var sum float64
+		for _, f := range merged {
+			sum += f.V
+		}
+		if sum > 0 && math.Abs(sum-1) > 1e-15 {
+			inv := 1 / sum
+			for idx := range merged {
+				merged[idx].V *= inv
+			}
+		}
+		for _, f := range merged {
+			if f.V > y[f.I] {
+				y[f.I] = f.V
+			}
+		}
+	}
+	if len(d.Js) > 0 {
+		old.open = old.open[:0]
+		for i := 0; i < s.n; i++ {
+			if y[i] > prune {
+				old.open = append(old.open, mip.Frac{I: int32(i), V: y[i]})
+			}
+		}
+		return
+	}
+	// Zero-demand video: mix the open vectors directly (Σy stays 1).
+	for i := range y {
+		y[i] = 0
+	}
+	for _, f := range old.open {
+		y[f.I] += (1 - tau) * f.V
+	}
+	for _, i := range ns.open {
+		y[i] += tau
+	}
+	old.open = old.open[:0]
+	for i := 0; i < s.n; i++ {
+		if y[i] > prune {
+			old.open = append(old.open, mip.Frac{I: int32(i), V: y[i]})
+		}
+	}
+}
+
+// mergeFracs returns (1−τ)·a + τ·unit(i_b); both inputs sorted by office,
+// output sorted, entries below prune dropped.
+func mergeFracs(a []mip.Frac, ib int32, tau, prune float64) []mip.Frac {
+	out := make([]mip.Frac, 0, len(a)+1)
+	inserted := false
+	for _, f := range a {
+		v := (1 - tau) * f.V
+		if f.I == ib {
+			v += tau
+			inserted = true
+		} else if !inserted && f.I > ib {
+			if tau > prune {
+				out = append(out, mip.Frac{I: ib, V: tau})
+			}
+			inserted = true
+		}
+		if v > prune {
+			out = append(out, mip.Frac{I: f.I, V: v})
+		}
+	}
+	if !inserted && tau > prune {
+		out = append(out, mip.Frac{I: ib, V: tau})
+	}
+	return out
+}
+
+// lagrangianBound computes LR(λ) = Σ_k LB_k(λ) − Σ_r λ_r·b_r with the given
+// normalized duals, using per-block dual-ascent lower bounds so the result
+// is a valid bound on OPT.
+func (s *solver) lagrangianBound(q []float64, workers int) float64 {
+	lr, _ := s.lagrangianEval(q, workers, false)
+	return lr
+}
+
+// lagrangianEval computes LR(q) and, when wantGrad is set, the activities
+// A·z_q of an (approximate) block-minimizing point z_q — the subgradient of
+// LR at q is A·z_q − b. The bound uses per-block dual ascent (valid lower
+// bounds); the subgradient uses the facility-location primal heuristic.
+func (s *solver) lagrangianEval(q []float64, workers int, wantGrad bool) (float64, []float64) {
+	s.computePathDuals(q)
+	numBlocks := len(s.sol)
+	sums := make([]float64, workers)
+	var acts [][]float64
+	if wantGrad {
+		acts = make([][]float64, workers)
+	}
+	var wg sync.WaitGroup
+	per := (numBlocks + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > numBlocks {
+			hi = numBlocks
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var fs facloc.Solver
+			var prob facloc.Problem
+			var sum float64
+			var act []float64
+			if wantGrad {
+				act = make([]float64, s.rows)
+			}
+			for vi := lo; vi < hi; vi++ {
+				s.buildBlockProblem(vi, q, &prob)
+				lb, _ := fs.DualAscent(&prob)
+				sum += lb
+				if wantGrad {
+					psol := fs.SolveQuick(&prob)
+					ns := toIntSol(&psol, &s.inst.Demands[vi])
+					s.accumulateIntRows(vi, &ns, act)
+				}
+			}
+			sums[w] = sum
+			if wantGrad {
+				acts[w] = act
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var lr float64
+	for _, v := range sums {
+		lr += v
+	}
+	for r := 0; r < s.rows; r++ {
+		lr -= q[r] * s.b[r]
+	}
+	// A diverging bound certifies infeasibility of FEAS(B); clamp so the
+	// B ← LB feedback stays finite (a clamped bound remains valid).
+	if math.IsNaN(lr) {
+		lr = math.Inf(-1)
+	} else if lr > 1e100 {
+		lr = 1e100
+	}
+	if !wantGrad {
+		return lr, nil
+	}
+	grad := make([]float64, s.rows)
+	for _, act := range acts {
+		if act == nil {
+			continue
+		}
+		for r := range grad {
+			grad[r] += act[r]
+		}
+	}
+	return lr, grad
+}
+
+// accumulateIntRows adds the coupling-row activities of the integer block
+// solution ns for video vi into act.
+func (s *solver) accumulateIntRows(vi int, ns *intSol, act []float64) {
+	d := &s.inst.Demands[vi]
+	for _, i := range ns.open {
+		act[s.rowDisk(int(i))] += d.SizeGB
+	}
+	if s.T == 0 {
+		return
+	}
+	for k, i := range ns.assign {
+		j := int(d.Js[k])
+		if int(i) == j {
+			continue
+		}
+		path := s.inst.G.Path(int(i), j)
+		for t := 0; t < s.T; t++ {
+			flow := d.RateMbps * d.Conc[t][k]
+			if flow == 0 {
+				continue
+			}
+			for _, l := range path {
+				act[s.rowLink(l, t)] += flow
+			}
+		}
+	}
+}
+
+// polishLB runs a few exponentiated-gradient ascent steps on the Lagrangian
+// dual vector: rows that the current dual's block minimizer overloads get
+// their price multiplied up, slack rows decay. This closes the last
+// percents of the lower bound when the potential-derived duals stall — the
+// Appendix notes the production implementation replaces the textbook
+// update mechanisms for exactly this reason.
+func (s *solver) polishLB(workers int) {
+	if s.qLB == nil {
+		s.qLB = make([]float64, s.rows)
+		for r := range s.qLB {
+			v := s.lbScale * s.qBar[r]
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			s.qLB[r] = v
+		}
+	}
+	const iters = 6
+	for it := 0; it < iters; it++ {
+		lr, grad := s.lagrangianEval(s.qLB, workers, true)
+		if lr > s.lb {
+			s.lb = lr
+			s.lbStall = 0
+		}
+		eta := 0.5 / (1 + float64(s.polishes) + float64(it))
+		for r := range s.qLB {
+			rel := grad[r]/s.b[r] - 1 // relative violation of the minimizer
+			if rel > 3 {
+				rel = 3
+			}
+			if rel < -3 {
+				rel = -3
+			}
+			s.qLB[r] = clampDual(s.qLB[r] * math.Exp(eta*rel))
+			if s.qLB[r] < 1e-15 {
+				s.qLB[r] = 1e-15
+			}
+		}
+	}
+	s.polishes++
+}

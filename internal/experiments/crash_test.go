@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+// TestInfeasibleProbeRegression pins the fix for a solver blow-up: on
+// infeasible FEAS(B) instances (here: 1-second constraint windows at low
+// link capacity probed by Table V's search) the Lagrangian bound diverges,
+// and without clamping the B ← LB feedback loop drove dual prices to +Inf
+// and a panic inside block assignment.
+func TestInfeasibleProbeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Config{Videos: 400, Days: 16, VHOs: 16, RequestsPerVideoPerDay: 30,
+		MaxPasses: 30, Seed: 1, LinkCapMbps: 400}
+	rows, err := Table5Compute(cfg, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("expected one row, got %d", len(rows))
+	}
+}

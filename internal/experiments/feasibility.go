@@ -1,0 +1,521 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vodplace/internal/core"
+	"vodplace/internal/demand"
+	"vodplace/internal/epf"
+	"vodplace/internal/mip"
+	"vodplace/internal/topology"
+	"vodplace/internal/workload"
+)
+
+func init() {
+	register("fig11", "Feasibility region: disk vs link capacity (Fig. 11)", Fig11Feasibility)
+	register("fig12", "Complementary cache size sweep (Fig. 12)", Fig12CacheSweep)
+	register("fig13", "Link capacity vs library size (Fig. 13)", Fig13LibraryGrowth)
+	register("table4", "Topology vs feasible link capacity (Table IV)", Table4Topology)
+	register("table5", "Peak window size vs bandwidth (Table V)", Table5Windows)
+}
+
+// feasTolerance is the violation level below which a solve counts as
+// feasible. It sits above the solver's ε because on very tight instances
+// the fractional point plateaus 1-2% over capacity until the Lagrangian
+// bound catches up; the paper's feasibility-region plots are coarse enough
+// that this tolerance does not move any frontier visibly.
+const feasTolerance = 0.03
+
+// probeFeasible builds a placement instance from the trace's first history
+// window and reports whether the EPF solver reaches an ε-feasible fractional
+// point under the given capacities. A false result conflates true
+// infeasibility with exceeding the pass budget, exactly as any numerical
+// feasibility probe does.
+func probeFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, day int) bool {
+	b := &demand.Builder{G: sc.G, Lib: sc.Lib, DiskGB: diskGB, LinkCapMbps: linkCapMbps,
+		Cfg: demand.Config{HorizonDays: 7}}
+	inst, err := b.Instance(sc.Trace, day)
+	if err != nil {
+		return false // disk cannot even hold one copy of each video
+	}
+	opts := sc.Cfg.solver()
+	if opts.MaxPasses < 60 {
+		opts.MaxPasses = 60
+	}
+	res, err := epf.Solve(inst, opts)
+	if err != nil {
+		return false
+	}
+	v := res.Violation
+	return v.Disk <= feasTolerance && v.Link <= feasTolerance && v.Unserved <= 1e-6
+}
+
+// Fig11Result is one feasibility-region line: for each link capacity, the
+// minimum aggregate disk (as a multiple of library size) at which all
+// requests can be served.
+type Fig11Result struct {
+	LinkCapMbps []float64
+	// MinDiskFactor[i] corresponds to LinkCapMbps[i]; 0 means no feasible
+	// disk was found within the search range.
+	MinDiskFactor []float64
+}
+
+// Fig11Compute binary-searches the minimum disk factor per link capacity,
+// for uniform or heterogeneous office disks.
+func Fig11Compute(sc *Scenario, linkCaps []float64, heterogeneous bool) *Fig11Result {
+	out := &Fig11Result{LinkCapMbps: linkCaps}
+	day := minInt(7, sc.Cfg.Days-1)
+	for _, cap := range linkCaps {
+		links := core.UniformLinks(sc.G, cap)
+		disk := func(factor float64) []float64 {
+			if heterogeneous {
+				return core.HeterogeneousDisk(sc.Lib, sc.Cfg.VHOs, factor)
+			}
+			return core.UniformDisk(sc.Lib, sc.Cfg.VHOs, factor)
+		}
+		lo, hi := 1.02, 8.0
+		if !probeFeasible(sc, disk(hi), links, day) {
+			out.MinDiskFactor = append(out.MinDiskFactor, 0)
+			continue
+		}
+		if probeFeasible(sc, disk(lo), links, day) {
+			out.MinDiskFactor = append(out.MinDiskFactor, lo)
+			continue
+		}
+		for iter := 0; iter < 7; iter++ {
+			mid := (lo + hi) / 2
+			if probeFeasible(sc, disk(mid), links, day) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		out.MinDiskFactor = append(out.MinDiskFactor, hi)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Fig11Feasibility prints the uniform and heterogeneous feasibility lines.
+func Fig11Feasibility(w io.Writer, cfg Config) error {
+	sc := NewScenario(cfg)
+	caps := []float64{cfg.withDefaults().LinkCapMbps / 2, cfg.withDefaults().LinkCapMbps, cfg.withDefaults().LinkCapMbps * 2, cfg.withDefaults().LinkCapMbps * 4}
+	uni := Fig11Compute(sc, caps, false)
+	het := Fig11Compute(sc, caps, true)
+	fmt.Fprintf(w, "%-16s %18s %18s\n", "link cap (Mb/s)", "uniform min disk", "nonuniform min disk")
+	for i, c := range caps {
+		fmt.Fprintf(w, "%-16.0f %17.2fx %17.2fx\n", c, uni.MinDiskFactor[i], het.MinDiskFactor[i])
+	}
+	fmt.Fprintln(w, "(0 = infeasible within 8x library; minimum possible is 1x — one copy of each video)")
+	return nil
+}
+
+// Fig12Result is the Fig. 12 data: peak and aggregate bandwidth as a
+// function of the complementary cache share.
+type Fig12Result struct {
+	CacheFractions []float64
+	PeakMbps       []float64
+	TotalGBHop     []float64
+}
+
+// Fig12Compute sweeps the complementary cache share.
+func Fig12Compute(sc *Scenario, fractions []float64) (*Fig12Result, error) {
+	out := &Fig12Result{CacheFractions: fractions}
+	for _, f := range fractions {
+		cf := f
+		if cf == 0 {
+			cf = -1 // MIPOptions: negative means exactly zero cache
+		}
+		run, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{
+			CacheFraction: cf,
+			Solver:        sc.Cfg.solver(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.PeakMbps = append(out.PeakMbps, run.Sim.MaxLinkMbps)
+		out.TotalGBHop = append(out.TotalGBHop, run.Sim.TotalGBHop)
+	}
+	return out, nil
+}
+
+// Fig12CacheSweep prints the cache sweep.
+func Fig12CacheSweep(w io.Writer, cfg Config) error {
+	sc := NewScenario(cfg)
+	fractions := []float64{0, 0.01, 0.05, 0.10, 0.25}
+	r, err := Fig12Compute(sc, fractions)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %16s %16s\n", "cache frac", "peak (Mb/s)", "total GB x hop")
+	for i, f := range fractions {
+		fmt.Fprintf(w, "%-12s %16.0f %16.0f\n", fmt.Sprintf("%.0f%%", 100*f), r.PeakMbps[i], r.TotalGBHop[i])
+	}
+	return nil
+}
+
+// probeLinkFeasible is probeFeasible for link-capacity searches: the disk
+// budget is fixed (and mathematically adequate) in those experiments, so the
+// verdict hangs on the link rows; disk gets only a loose sanity guard
+// against the solver's tight-disk plateau masquerading as link
+// infeasibility.
+func probeLinkFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, day int) bool {
+	b := &demand.Builder{G: sc.G, Lib: sc.Lib, DiskGB: diskGB, LinkCapMbps: linkCapMbps,
+		Cfg: demand.Config{HorizonDays: 7}}
+	inst, err := b.Instance(sc.Trace, day)
+	if err != nil {
+		return false
+	}
+	opts := sc.Cfg.solver()
+	if opts.MaxPasses < 60 {
+		opts.MaxPasses = 60
+	}
+	res, err := epf.Solve(inst, opts)
+	if err != nil {
+		return false
+	}
+	v := res.Violation
+	return v.Link <= feasTolerance && v.Disk <= 0.08 && v.Unserved <= 1e-6
+}
+
+// minFeasibleLinkCap binary-searches the lowest uniform link capacity at
+// which the placement is ε-feasible, on a log scale over [loMbps, hiMbps].
+func minFeasibleLinkCap(sc *Scenario, diskGB []float64, loMbps, hiMbps float64, day int) float64 {
+	if !probeLinkFeasible(sc, diskGB, core.UniformLinks(sc.G, hiMbps), day) {
+		return 0
+	}
+	if probeLinkFeasible(sc, diskGB, core.UniformLinks(sc.G, loMbps), day) {
+		return loMbps
+	}
+	lo, hi := loMbps, hiMbps
+	for iter := 0; iter < 8; iter++ {
+		mid := sqrtGeo(lo, hi)
+		if probeLinkFeasible(sc, diskGB, core.UniformLinks(sc.G, mid), day) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func sqrtGeo(a, b float64) float64 {
+	m := a * b
+	// geometric midpoint without math.Sqrt overflow concerns at these scales
+	lo, hi := a, b
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if mid*mid > m {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Fig13Row is one scenario of the Fig. 13 scalability study.
+type Fig13Row struct {
+	Network     string
+	Videos      int
+	MinLinkMbps float64
+	// PerVideo is the capacity normalized by library size (the Fig. 13
+	// y-axis: required capacity stays flat as the library grows because
+	// request volume scales with it).
+	PerVideo float64
+}
+
+// Fig13Compute finds the required link capacity per network and library
+// size, with aggregate disk fixed at 2x library.
+func Fig13Compute(cfg Config, sizes []int, networks []string) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, netName := range networks {
+		for _, videos := range sizes {
+			g := namedTopology(netName)
+			c := cfg
+			c.Videos = videos
+			c.VHOs = g.NumNodes()
+			c.Days = minInt(cfg.withDefaults().Days, 14)
+			sc := buildScenarioOn(g, c)
+			disk := core.UniformDisk(sc.Lib, g.NumNodes(), 2.0)
+			cap := minFeasibleLinkCap(sc, disk, 5, 50000, 7)
+			rows = append(rows, Fig13Row{
+				Network:     netName,
+				Videos:      videos,
+				MinLinkMbps: cap,
+				PerVideo:    cap / float64(videos),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// buildScenarioOn materializes a scenario on a specific prebuilt graph.
+func buildScenarioOn(g *topology.Graph, cfg Config) *Scenario {
+	c := cfg.withDefaults()
+	c.VHOs = g.NumNodes()
+	lib := catalogForScale(c)
+	tr := workload.GenerateTrace(lib, workload.TraceConfig{
+		Days:                   c.Days,
+		NumVHOs:                c.VHOs,
+		RequestsPerVideoPerDay: c.RequestsPerVideoPerDay,
+	}, c.Seed+20)
+	sys := &core.System{
+		G:           g,
+		Lib:         lib,
+		DiskGB:      core.UniformDisk(lib, c.VHOs, c.DiskFactor),
+		LinkCapMbps: core.UniformLinks(g, c.LinkCapMbps),
+	}
+	return &Scenario{Cfg: c, G: g, Lib: lib, Trace: tr, Sys: sys}
+}
+
+func namedTopology(name string) *topology.Graph {
+	switch name {
+	case "backbone":
+		return topology.Backbone55()
+	case "tree":
+		return topology.Tree(55)
+	case "mesh":
+		return topology.FullMesh(55)
+	case "tiscali":
+		return topology.Tiscali()
+	case "sprint":
+		return topology.Sprint()
+	case "ebone":
+		return topology.Ebone()
+	default:
+		panic(fmt.Sprintf("experiments: unknown topology %q", name))
+	}
+}
+
+// Fig13LibraryGrowth prints required capacity vs library size.
+func Fig13LibraryGrowth(w io.Writer, cfg Config) error {
+	c := cfg.withDefaults()
+	sizes := []int{c.Videos / 4, c.Videos / 2, c.Videos}
+	rows, err := Fig13Compute(cfg, sizes, []string{"tiscali", "sprint", "ebone"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %8s %14s %16s\n", "network", "videos", "cap (Mb/s)", "cap/1K videos")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %14.0f %16.1f\n", r.Network, r.Videos, r.MinLinkMbps, 1000*r.PerVideo)
+	}
+	return nil
+}
+
+// Table4Row is one topology's minimum feasible link capacity.
+type Table4Row struct {
+	Topology    string
+	Nodes       int
+	Edges       int
+	MinLinkMbps float64
+}
+
+// Table4Compute reproduces Table IV: same library and (remapped) trace, 3x
+// aggregate disk, minimum uniform link capacity per topology. For networks
+// smaller than the trace's office count, the offices with the largest
+// request volumes are kept, as in the paper.
+func Table4Compute(cfg Config, names []string) ([]Table4Row, error) {
+	c := cfg.withDefaults()
+	base := NewScenario(cfg)
+	var rows []Table4Row
+	for _, name := range names {
+		g := namedTopology(name)
+		sc := base
+		switch {
+		case g.NumNodes() < base.Cfg.VHOs:
+			// Keep the offices with the largest request volumes, as in the
+			// paper's RocketFuel runs.
+			tr := remapTopVHOs(base.Trace, g.NumNodes())
+			sysCfg := base.Cfg
+			sysCfg.VHOs = g.NumNodes()
+			sc = &Scenario{Cfg: sysCfg, G: g, Lib: base.Lib, Trace: tr,
+				Sys: &core.System{G: g, Lib: base.Lib}}
+		default:
+			// Same or larger network: demand simply occupies the first
+			// offices.
+			sc = &Scenario{Cfg: base.Cfg, G: g, Lib: base.Lib, Trace: base.Trace,
+				Sys: &core.System{G: g, Lib: base.Lib}}
+		}
+		disk := core.UniformDisk(sc.Lib, g.NumNodes(), 3.0)
+		cap := minFeasibleLinkCap(sc, disk, 5, 80000, minInt(7, c.Days-1))
+		rows = append(rows, Table4Row{
+			Topology:    name,
+			Nodes:       g.NumNodes(),
+			Edges:       g.NumEdges(),
+			MinLinkMbps: cap,
+		})
+	}
+	return rows, nil
+}
+
+// remapTopVHOs keeps the n offices with the most requests and renumbers
+// them 0..n-1 by decreasing volume.
+func remapTopVHOs(tr *workload.Trace, n int) *workload.Trace {
+	counts := make([]int, tr.NumVHOs)
+	for _, r := range tr.Requests {
+		counts[r.VHO]++
+	}
+	idx := make([]int, tr.NumVHOs)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return counts[idx[a]] > counts[idx[b]] })
+	remap := make(map[int32]int32)
+	for newID, oldID := range idx[:n] {
+		remap[int32(oldID)] = int32(newID)
+	}
+	out := &workload.Trace{Days: tr.Days, NumVHOs: n, Lib: tr.Lib}
+	for _, r := range tr.Requests {
+		if nj, ok := remap[r.VHO]; ok {
+			out.Requests = append(out.Requests, workload.Request{Time: r.Time, VHO: nj, Video: r.Video})
+		}
+	}
+	return out
+}
+
+// Table4Topology prints the topology comparison.
+func Table4Topology(w io.Writer, cfg Config) error {
+	names := []string{"backbone", "tree", "mesh", "tiscali", "sprint", "ebone"}
+	if cfg.withDefaults().VHOs != 55 {
+		names = []string{"tiscali", "sprint", "ebone"}
+	}
+	rows, err := Table4Compute(cfg, names)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %7s %7s %22s\n", "topology", "nodes", "edges", "feasible cap (Mb/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %7d %7d %22.0f\n", r.Topology, r.Nodes, r.Edges, r.MinLinkMbps)
+	}
+	return nil
+}
+
+// Table5Row is one peak-window size's outcome.
+type Table5Row struct {
+	WindowSec       int64
+	FeasibleCapMbps float64
+	MaxDuringWindow float64
+	MaxEntirePeriod float64
+}
+
+// Table5Compute reproduces Table V: for each constraint-window size, the
+// minimum feasible link capacity, then a placement solved at that capacity
+// and played against the full trace, reporting the realized maxima inside
+// the enforced windows and over the whole period.
+func Table5Compute(cfg Config, windows []int64) ([]Table5Row, error) {
+	sc := NewScenario(cfg)
+	day := minInt(7, sc.Cfg.Days-1)
+	var rows []Table5Row
+	for _, win := range windows {
+		// Find the feasibility constraint for this window size.
+		var cap float64
+		probe := func(capMbps float64) bool {
+			b := &demand.Builder{G: sc.G, Lib: sc.Lib,
+				DiskGB:      core.UniformDisk(sc.Lib, sc.Cfg.VHOs, sc.Cfg.DiskFactor),
+				LinkCapMbps: core.UniformLinks(sc.G, capMbps),
+				Cfg:         demand.Config{WindowSec: win, HorizonDays: 7}}
+			inst, err := b.Instance(sc.Trace, day)
+			if err != nil {
+				return false
+			}
+			opts := sc.Cfg.solver()
+			if opts.MaxPasses < 60 {
+				opts.MaxPasses = 60
+			}
+			res, err := epf.Solve(inst, opts)
+			if err != nil {
+				return false
+			}
+			v := res.Violation
+			return v.Disk <= feasTolerance && v.Link <= feasTolerance
+		}
+		lo, hi := 5.0, 50000.0
+		if !probe(hi) {
+			rows = append(rows, Table5Row{WindowSec: win})
+			continue
+		}
+		for iter := 0; iter < 8; iter++ {
+			mid := sqrtGeo(lo, hi)
+			if probe(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		cap = hi
+
+		// Solve at that capacity and play the trace.
+		run, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{
+			WindowSec:     win,
+			CacheFraction: -1,
+			Solver:        sc.Cfg.solver(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Realized maxima inside the enforced windows vs the whole horizon.
+		maxWindow := maxDuringEnforcedWindows(sc, run, win)
+		rows = append(rows, Table5Row{
+			WindowSec:       win,
+			FeasibleCapMbps: cap,
+			MaxDuringWindow: maxWindow,
+			MaxEntirePeriod: run.Sim.MaxLinkMbps,
+		})
+	}
+	return rows, nil
+}
+
+// maxDuringEnforcedWindows returns the realized peak link bandwidth within
+// the peak windows each plan enforced.
+func maxDuringEnforcedWindows(sc *Scenario, run *core.MIPRun, win int64) float64 {
+	binSec := int64(300)
+	var peak float64
+	for _, plan := range run.Plans {
+		histFrom := int64(plan.Day-7) * workload.SecondsPerDay
+		if histFrom < 0 {
+			histFrom = 0
+		}
+		histTo := int64(plan.Day) * workload.SecondsPerDay
+		sub := sc.Trace.Slice(histFrom, histTo)
+		for _, start := range sub.TopPeakWindows(win, plan.Instance.Slices) {
+			// The window was identified in history; the matching period in
+			// the serving week is one week later.
+			servStart := start + 7*workload.SecondsPerDay
+			for b := servStart / binSec; b <= (servStart+win)/binSec; b++ {
+				if b >= 0 && int(b) < len(run.Sim.BinPeakMbps) {
+					if v := run.Sim.BinPeakMbps[b]; v > peak {
+						peak = v
+					}
+				}
+			}
+		}
+	}
+	return peak
+}
+
+// Table5Windows prints the window sweep.
+func Table5Windows(w io.Writer, cfg Config) error {
+	windows := []int64{1, 60, 3600, workload.SecondsPerDay}
+	rows, err := Table5Compute(cfg, windows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %20s %20s %20s\n", "window", "feasible cap (Mb/s)", "max in LP window", "max entire period")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %20.0f %20.0f %20.0f\n",
+			formatWindow(r.WindowSec), r.FeasibleCapMbps, r.MaxDuringWindow, r.MaxEntirePeriod)
+	}
+	return nil
+}
+
+// ensure mip import is used (instance types appear in signatures elsewhere).
+var _ = mip.Frac{}

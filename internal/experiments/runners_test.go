@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllRunnersProduceOutput drives every registered experiment at a tiny
+// scale, verifying each completes and prints a plausible report. This is the
+// repository's broadest integration test (everything from workload synthesis
+// through solving, rounding, simulation and formatting); skipped under
+// -short.
+func TestAllRunnersProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := Config{
+		Quick: true, Videos: 150, Days: 14, VHOs: 6,
+		RequestsPerVideoPerDay: 10, Seed: 2, MaxPasses: 20,
+	}
+	// Expected content fragments per experiment.
+	wantFragment := map[string]string{
+		"fig2":     "max working set",
+		"fig3":     "window",
+		"fig4":     "episodes",
+		"fig5":     "mip/lru peak ratio",
+		"fig6":     "local frac",
+		"fig7":     "medium",
+		"fig8":     "copies",
+		"fig9":     "served remotely",
+		"fig11":    "link cap",
+		"fig12":    "cache frac",
+		"fig13":    "cap/1K videos",
+		"table2":   "hit rate",
+		"table3":   "speedup",
+		"table4":   "feasible cap",
+		"table5":   "max entire period",
+		"table6":   "locally served",
+		"rounding": "rounded gap",
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(&buf, cfg); err != nil {
+				t.Fatalf("%s failed: %v", r.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 20 {
+				t.Fatalf("%s produced almost no output: %q", r.ID, out)
+			}
+			if frag, ok := wantFragment[r.ID]; ok && !strings.Contains(out, frag) {
+				t.Errorf("%s output missing %q:\n%s", r.ID, frag, out)
+			}
+		})
+	}
+}
+
+// TestTable6Ordering checks the Table VI qualitative ordering at small
+// scale: perfect knowledge transfers no more than no-estimate.
+func TestTable6Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Config{Quick: true, Videos: 200, Days: 16, VHOs: 6,
+		RequestsPerVideoPerDay: 10, Seed: 4, MaxPasses: 25}
+	rows, err := Table6Compute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table6Row{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	perfect, none := byName["perfect estimate"], byName["no estimate"]
+	if perfect.TotalGBHop > none.TotalGBHop {
+		t.Errorf("perfect estimate transfers %.0f > no estimate %.0f", perfect.TotalGBHop, none.TotalGBHop)
+	}
+	if perfect.LocalFrac < none.LocalFrac {
+		t.Errorf("perfect estimate serves %.3f locally < no estimate %.3f", perfect.LocalFrac, none.LocalFrac)
+	}
+}

