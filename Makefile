@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race check bench fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race run is the concurrency runtime's real gate: every solver fan-out,
+# the CompareSchemes scheme pool and the cancellation paths execute under it.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l -w .

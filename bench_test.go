@@ -9,9 +9,11 @@
 package vodplace
 
 import (
+	"context"
 	"io"
 	"testing"
 
+	"vodplace/internal/cache"
 	"vodplace/internal/core"
 	"vodplace/internal/demand"
 	"vodplace/internal/epf"
@@ -39,7 +41,7 @@ func runExperiment(b *testing.B, id string, cfg experiments.Config) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := r.Run(io.Discard, cfg); err != nil {
+		if err := r.Run(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -189,6 +191,52 @@ func BenchmarkPeakConcurrency(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.Trace.PeakConcurrency(0, 7*workload.SecondsPerDay)
+	}
+}
+
+// ---- Scheme-comparison parallelism benchmarks ----
+
+// compareCfg is the scale for the CompareSchemes parallel-vs-serial pair.
+// The MIP scheme dominates, so the parallel speedup is bounded by how much
+// of the three baseline simulations overlaps with the solve.
+func compareCfg() experiments.Config {
+	return experiments.Config{Quick: true, Seed: 1, MaxPasses: 30}
+}
+
+// BenchmarkCompareSchemesParallel fans the four schemes (MIP, Random+LRU,
+// Random+LFU, Top-K+LRU) across the shared worker pool.
+func BenchmarkCompareSchemesParallel(b *testing.B) {
+	sc := experiments.NewScenario(compareCfg())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompareSchemes(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareSchemesSerial runs the same four schemes one after
+// another — the pre-refactor behavior — as the baseline for the parallel
+// fan-out above.
+func BenchmarkCompareSchemesSerial(b *testing.B) {
+	sc := experiments.NewScenario(compareCfg())
+	topK := sc.Cfg.Videos / 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{
+			Solver: epf.Options{Seed: sc.Cfg.Seed, MaxPasses: sc.Cfg.MaxPasses},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, opts := range []core.BaselineOptions{
+			{Policy: cache.LRU, Seed: sc.Cfg.Seed},
+			{Policy: cache.LFU, Seed: sc.Cfg.Seed},
+			{Policy: cache.LRU, TopK: topK, Seed: sc.Cfg.Seed},
+		} {
+			if _, err := sc.Sys.RunBaseline(sc.Trace, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"vodplace/internal/experiments"
 )
@@ -55,8 +58,12 @@ func main() {
 		MaxPasses:              *passes,
 		Quick:                  *quick,
 	}
+	// Ctrl-C / SIGTERM cancels the running experiment cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *exp == "all" {
-		if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+		if err := experiments.RunAll(ctx, os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
 			os.Exit(1)
 		}
@@ -68,7 +75,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("==== %s: %s ====\n", r.ID, r.Title)
-	if err := r.Run(os.Stdout, cfg); err != nil {
+	if err := r.Run(ctx, os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
 		os.Exit(1)
 	}

@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"vodplace/internal/catalog"
@@ -71,15 +75,29 @@ func main() {
 				pi.Pass, pi.Objective, pi.LowerBound, 100*pi.MaxViol)
 		}
 	}
+	// Ctrl-C / SIGTERM cancels the solve cooperatively: the solver stops at
+	// the next chunk boundary and the partial placement is still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := epf.SolveInteger(inst, opts)
-	if err != nil {
+	res, err := epf.SolveIntegerContext(ctx, inst, opts)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nsolved in %.1fs (%d passes)\n", elapsed.Seconds(), res.Passes)
+	if interrupted {
+		fmt.Printf("\ninterrupted after %.1fs (%d passes); reporting the partial placement\n",
+			elapsed.Seconds(), res.Passes)
+	} else {
+		fmt.Printf("\nsolved in %.1fs (%d passes)\n", elapsed.Seconds(), res.Passes)
+	}
+	if *verbose {
+		fmt.Printf("\nsolver stats:\n%s\n\n", res.Stats)
+	}
 	fmt.Printf("objective:     %.1f GB (transfer cost, hop-weighted)\n", res.Objective)
 	fmt.Printf("lower bound:   %.1f GB (Lagrangian)\n", res.LowerBound)
 	fmt.Printf("gap:           %.2f%%\n", 100*res.Gap)

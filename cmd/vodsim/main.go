@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"vodplace/internal/cache"
 	"vodplace/internal/core"
@@ -35,6 +38,10 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the MIP solves cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sc := experiments.NewScenario(experiments.Config{
 		Videos: *videos, Days: *days, VHOs: *vhos,
 		RequestsPerVideoPerDay: *rpd, DiskFactor: *disk, LinkCapMbps: *link,
@@ -48,7 +55,7 @@ func main() {
 			name, r.MaxLinkMbps, r.TotalGBHop, 100*r.LocalFrac, r.MigratedVideos)
 	}
 
-	mipRun, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{Solver: epf.Options{Seed: *seed, MaxPasses: *passes}})
+	mipRun, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: epf.Options{Seed: *seed, MaxPasses: *passes}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vodsim: mip: %v\n", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vodplace/internal/cache"
@@ -102,6 +103,13 @@ type MIPRun struct {
 
 // RunMIP executes the full §VII-B pipeline over the trace.
 func (s *System) RunMIP(tr *workload.Trace, opts MIPOptions) (*MIPRun, error) {
+	return s.RunMIPContext(context.Background(), tr, opts)
+}
+
+// RunMIPContext is RunMIP with cooperative cancellation: ctx is passed to
+// every per-period solve and checked between periods, so a long multi-week
+// pipeline stops within one solver chunk of a cancellation.
+func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIPOptions) (*MIPRun, error) {
 	o := opts.withDefaults()
 	n := s.G.NumNodes()
 	if len(s.DiskGB) != n || len(s.LinkCapMbps) != s.G.NumLinks() {
@@ -137,7 +145,7 @@ func (s *System) RunMIP(tr *workload.Trace, opts MIPOptions) (*MIPRun, error) {
 			inst.UpdateWeight = o.UpdateWeight
 			inst.Origin = originsFromPinned(inst, prevPinned, n)
 		}
-		res, err := epf.SolveInteger(inst, o.Solver)
+		res, err := epf.SolveIntegerContext(ctx, inst, o.Solver)
 		if err != nil {
 			return nil, fmt.Errorf("core: solving day %d: %w", day, err)
 		}

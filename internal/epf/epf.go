@@ -29,15 +29,17 @@
 package epf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"vodplace/internal/facloc"
 	"vodplace/internal/mip"
+	"vodplace/internal/par"
 )
 
 // Options configures the solver. The zero value selects the defaults the
@@ -131,6 +133,9 @@ type Result struct {
 	Converged bool
 	// Rounded reports whether the integer rounding pass ran.
 	Rounded bool
+	// Stats reports the solve's runtime behavior (work counts, phase wall
+	// times, scratch economy).
+	Stats Stats
 }
 
 // blockSol is the solver-internal per-video fractional solution.
@@ -143,6 +148,19 @@ type blockSol struct {
 type intSol struct {
 	open   []int32
 	assign []int32
+}
+
+// workerScratch is one pool worker's reusable state: the facility-location
+// solver and problem buffers (allocated once, reused across every chunk,
+// pass and bound evaluation) plus lock-free stat counters. Slot w is only
+// ever touched by the goroutine running worker w's range; the pool's
+// completion barrier orders those writes before the sequential merge.
+type workerScratch struct {
+	fs   facloc.Solver
+	prob facloc.Problem
+
+	blocks   int64 // descent-loop block solves
+	lbBlocks int64 // bound-evaluation block solves
 }
 
 type solver struct {
@@ -173,6 +191,20 @@ type solver struct {
 	lbStall  int       // passes since the lower bound last improved
 	polishes int       // completed polish rounds (decays the ascent step)
 
+	// Shared execution runtime: one pool per solve, per-worker scratch
+	// reused across all fan-outs, cancellation checked at chunk boundaries.
+	ctx     context.Context
+	pool    *par.Pool
+	scratch *par.Slots[workerScratch]
+	stats   Stats
+
+	// Lagrangian evaluation buffers, indexed by block so reductions run in
+	// block order on the driver goroutine — the worker count never changes
+	// the floating-point summation grouping, keeping results bit-identical
+	// at any parallelism.
+	lbBuf  []float64 // per-block dual-ascent bounds
+	lbSols []intSol  // per-block minimizers (subgradient evaluations only)
+
 	rng *rand.Rand
 
 	// sequential-apply scratch
@@ -189,24 +221,41 @@ func (s *solver) rowLink(l, t int) int { return s.n + t*s.L + l }
 
 // Solve runs the EPF LP solver on inst and returns the fractional result.
 func Solve(inst *mip.Instance, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), inst, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the solver checks
+// ctx at every chunk boundary and bound evaluation. On cancellation it
+// stops within roughly one chunk of work and returns the current (partial,
+// possibly non-converged) result together with ctx.Err().
+func SolveContext(ctx context.Context, inst *mip.Instance, opts Options) (*Result, error) {
 	s, err := newSolver(inst, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := s.run()
-	return res, nil
+	defer s.close()
+	res := s.run(ctx)
+	return res, ctx.Err()
 }
 
 // SolveInteger runs Solve and then the §V-D rounding pass, returning an
 // integral placement.
 func SolveInteger(inst *mip.Instance, opts Options) (*Result, error) {
+	return SolveIntegerContext(context.Background(), inst, opts)
+}
+
+// SolveIntegerContext is SolveInteger with cooperative cancellation; both
+// the LP descent and the rounding/polish phases observe ctx. On
+// cancellation the best point reached so far is returned with ctx.Err().
+func SolveIntegerContext(ctx context.Context, inst *mip.Instance, opts Options) (*Result, error) {
 	s, err := newSolver(inst, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := s.run()
+	defer s.close()
+	res := s.run(ctx)
 	s.round(res)
-	return res, nil
+	return res, ctx.Err()
 }
 
 func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
@@ -255,8 +304,34 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	for t := range s.pathDual {
 		s.pathDual[t] = make([]float64, s.n*s.n)
 	}
+	s.ctx = context.Background()
+	s.pool = par.New(o.Workers)
+	s.scratch = par.NewSlots[workerScratch](s.pool)
+	s.lbBuf = make([]float64, len(inst.Demands))
 	s.initSolution()
 	return s, nil
+}
+
+// close releases the solver's worker pool. Entry points defer it; the
+// solver must not be used afterwards.
+func (s *solver) close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// mergeStats folds the per-worker scratch counters into s.stats. Totals are
+// recomputed from scratch (the counters are cumulative) so it can run again
+// after the rounding phase without double counting.
+func (s *solver) mergeStats() {
+	s.stats.Workers = s.pool.Workers()
+	s.stats.Polishes = s.polishes
+	s.stats.BlocksOptimized, s.stats.LBBlockSolves = 0, 0
+	s.scratch.Each(func(_ int, ws *workerScratch) {
+		s.stats.BlocksOptimized += ws.blocks
+		s.stats.LBBlockSolves += ws.lbBlocks
+	})
+	s.stats.ScratchAllocs, s.stats.ScratchReuses = s.scratch.Counts()
 }
 
 // initSolution places one copy of each video at its highest-demand office
@@ -371,6 +446,7 @@ func expClamp(x float64) float64 {
 // is c^k·z + Σ_r q_r·(A^k z)_r, a positive rescaling of the potential
 // gradient direction c(π^δ(z)).
 func (s *solver) computeDuals(q []float64) {
+	s.stats.DualRefreshes++
 	r0 := s.obj/s.bObj - 1
 	for r := 0; r < s.rows; r++ {
 		rr := s.act[r]/s.b[r] - 1
@@ -477,7 +553,11 @@ func (s *solver) buildBlockProblem(vi int, q []float64, prob *facloc.Problem) {
 }
 
 // run executes Algorithm 1's main loop and returns the fractional result.
-func (s *solver) run() *Result {
+// ctx is observed at chunk boundaries: on cancellation the loop stops
+// before the next fan-out and the current point is returned as-is.
+func (s *solver) run(ctx context.Context) *Result {
+	s.ctx = ctx
+	lpStart := time.Now()
 	o := s.opts
 	m := float64(s.rows)
 	lnM1 := math.Log(m + 1)
@@ -504,16 +584,9 @@ func (s *solver) run() *Result {
 	chunkSols := make([]intSol, o.ChunkSize)
 	var res *Result
 
-	workers := o.Workers
-	if workers > o.ChunkSize {
-		workers = o.ChunkSize
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
 	pass := 0
 	var dcHist []float64
+passes:
 	for pass = 1; pass <= o.MaxPasses; pass++ {
 		if !o.NoShuffle {
 			s.rng.Shuffle(numBlocks, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
@@ -528,37 +601,29 @@ func (s *solver) run() *Result {
 			s.computeDuals(s.q)
 			s.computePathDuals(s.q)
 
-			// Parallel block optimization.
+			// Parallel block optimization on the shared pool. chunkSols is
+			// index-addressed and applied sequentially below, so the worker
+			// partition never affects the numeric outcome.
 			chunk := perm[lo:hi]
-			var wg sync.WaitGroup
-			per := (len(chunk) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				wlo := w * per
-				whi := wlo + per
-				if whi > len(chunk) {
-					whi = len(chunk)
+			if err := s.pool.Run(s.ctx, len(chunk), func(w, wlo, whi int) {
+				ws := s.scratch.Get(w)
+				for c := wlo; c < whi; c++ {
+					vi := chunk[c]
+					s.buildBlockProblem(vi, s.q, &ws.prob)
+					sol := ws.fs.SolveQuick(&ws.prob)
+					chunkSols[c] = toIntSol(&sol, &s.inst.Demands[vi])
 				}
-				if wlo >= whi {
-					break
-				}
-				wg.Add(1)
-				go func(wlo, whi int) {
-					defer wg.Done()
-					var fs facloc.Solver
-					var prob facloc.Problem
-					for c := wlo; c < whi; c++ {
-						vi := chunk[c]
-						s.buildBlockProblem(vi, s.q, &prob)
-						sol := fs.SolveQuick(&prob)
-						chunkSols[c] = toIntSol(&sol, &s.inst.Demands[vi])
-					}
-				}(wlo, whi)
+				ws.blocks += int64(whi - wlo)
+			}); err != nil {
+				break passes // cancelled before dispatch; chunkSols is stale
 			}
-			wg.Wait()
 
 			// Sequential application with line search.
 			for c, vi := range chunk {
 				s.applyBlock(vi, &chunkSols[c])
+			}
+			if s.ctx.Err() != nil {
+				break passes
 			}
 
 			// Step 11: shrink the scale when the point got less infeasible.
@@ -647,7 +712,7 @@ func (s *solver) run() *Result {
 				for r := range s.qTmp {
 					s.qTmp[r] = scale * s.qBar[r]
 				}
-				if lr := s.lagrangianBound(s.qTmp, workers); lr > bestLR {
+				if lr := s.lagrangianBound(s.qTmp); lr > bestLR {
 					bestLR, bestScale = lr, scale
 				}
 			}
@@ -661,7 +726,7 @@ func (s *solver) run() *Result {
 			// When the potential-derived duals stop improving the bound,
 			// polish the dual vector directly with subgradient ascent.
 			if s.lbStall >= 3 {
-				s.polishLB(workers)
+				s.polishLB()
 				s.lbStall = 0
 			}
 			s.retargetB()
@@ -688,6 +753,7 @@ func (s *solver) run() *Result {
 		s.restoreBest()
 		s.recomputeState()
 	}
+	s.stats.LPTime = time.Since(lpStart)
 	res = s.buildResult(pass, converged)
 	return res
 }
@@ -720,6 +786,8 @@ func (s *solver) buildResult(passes int, converged bool) *Result {
 	if s.lb > 1e-12 {
 		gap = (obj - s.lb) / s.lb
 	}
+	s.stats.Passes = passes
+	s.mergeStats()
 	return &Result{
 		Sol:        out,
 		LowerBound: s.lb,
@@ -728,6 +796,7 @@ func (s *solver) buildResult(passes int, converged bool) *Result {
 		Violation:  out.Check(),
 		Passes:     passes,
 		Converged:  converged,
+		Stats:      s.stats,
 	}
 }
 
@@ -874,6 +943,7 @@ func (s *solver) applyBlock(vi int, ns *intSol) {
 // deltas in s.acc/s.touched and the objective delta. Φ is convex in τ, so
 // bisection on the (sign of the) derivative suffices.
 func (s *solver) lineSearch(dObj float64) float64 {
+	s.stats.LineSearches++
 	deriv := func(tau float64) float64 {
 		var dsum float64
 		for _, r := range s.touched {
@@ -1009,8 +1079,8 @@ func mergeFracs(a []mip.Frac, ib int32, tau, prune float64) []mip.Frac {
 // lagrangianBound computes LR(λ) = Σ_k LB_k(λ) − Σ_r λ_r·b_r with the given
 // normalized duals, using per-block dual-ascent lower bounds so the result
 // is a valid bound on OPT.
-func (s *solver) lagrangianBound(q []float64, workers int) float64 {
-	lr, _ := s.lagrangianEval(q, workers, false)
+func (s *solver) lagrangianBound(q []float64) float64 {
+	lr, _ := s.lagrangianEval(q, false)
 	return lr
 }
 
@@ -1018,54 +1088,41 @@ func (s *solver) lagrangianBound(q []float64, workers int) float64 {
 // A·z_q of an (approximate) block-minimizing point z_q — the subgradient of
 // LR at q is A·z_q − b. The bound uses per-block dual ascent (valid lower
 // bounds); the subgradient uses the facility-location primal heuristic.
-func (s *solver) lagrangianEval(q []float64, workers int, wantGrad bool) (float64, []float64) {
+//
+// Workers write per-block results into s.lbBuf/s.lbSols and every reduction
+// runs in block order on this goroutine, so the bound and subgradient are
+// bit-identical at any worker count. On cancellation it returns (−Inf, nil):
+// callers only ever take the max of the bound, so a cancelled evaluation
+// can never corrupt the solve.
+func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64) {
 	s.computePathDuals(q)
+	s.stats.LBEvals++
 	numBlocks := len(s.sol)
-	sums := make([]float64, workers)
-	var acts [][]float64
-	if wantGrad {
-		acts = make([][]float64, workers)
+	if wantGrad && s.lbSols == nil {
+		s.lbSols = make([]intSol, numBlocks)
 	}
-	var wg sync.WaitGroup
-	per := (numBlocks + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > numBlocks {
-			hi = numBlocks
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var fs facloc.Solver
-			var prob facloc.Problem
-			var sum float64
-			var act []float64
+	err := s.pool.Run(s.ctx, numBlocks, func(w, lo, hi int) {
+		ws := s.scratch.Get(w)
+		for vi := lo; vi < hi; vi++ {
+			if (vi-lo)%64 == 0 && s.ctx.Err() != nil {
+				return
+			}
+			s.buildBlockProblem(vi, q, &ws.prob)
+			lb, _ := ws.fs.DualAscent(&ws.prob)
+			s.lbBuf[vi] = lb
 			if wantGrad {
-				act = make([]float64, s.rows)
+				psol := ws.fs.SolveQuick(&ws.prob)
+				s.lbSols[vi] = toIntSol(&psol, &s.inst.Demands[vi])
 			}
-			for vi := lo; vi < hi; vi++ {
-				s.buildBlockProblem(vi, q, &prob)
-				lb, _ := fs.DualAscent(&prob)
-				sum += lb
-				if wantGrad {
-					psol := fs.SolveQuick(&prob)
-					ns := toIntSol(&psol, &s.inst.Demands[vi])
-					s.accumulateIntRows(vi, &ns, act)
-				}
-			}
-			sums[w] = sum
-			if wantGrad {
-				acts[w] = act
-			}
-		}(w, lo, hi)
+			ws.lbBlocks++
+		}
+	})
+	if err != nil || s.ctx.Err() != nil {
+		return math.Inf(-1), nil
 	}
-	wg.Wait()
 	var lr float64
-	for _, v := range sums {
-		lr += v
+	for vi := 0; vi < numBlocks; vi++ {
+		lr += s.lbBuf[vi]
 	}
 	for r := 0; r < s.rows; r++ {
 		lr -= q[r] * s.b[r]
@@ -1081,13 +1138,8 @@ func (s *solver) lagrangianEval(q []float64, workers int, wantGrad bool) (float6
 		return lr, nil
 	}
 	grad := make([]float64, s.rows)
-	for _, act := range acts {
-		if act == nil {
-			continue
-		}
-		for r := range grad {
-			grad[r] += act[r]
-		}
+	for vi := 0; vi < numBlocks; vi++ {
+		s.accumulateIntRows(vi, &s.lbSols[vi], grad)
 	}
 	return lr, grad
 }
@@ -1126,7 +1178,7 @@ func (s *solver) accumulateIntRows(vi int, ns *intSol, act []float64) {
 // percents of the lower bound when the potential-derived duals stall — the
 // Appendix notes the production implementation replaces the textbook
 // update mechanisms for exactly this reason.
-func (s *solver) polishLB(workers int) {
+func (s *solver) polishLB() {
 	if s.qLB == nil {
 		s.qLB = make([]float64, s.rows)
 		for r := range s.qLB {
@@ -1139,7 +1191,10 @@ func (s *solver) polishLB(workers int) {
 	}
 	const iters = 6
 	for it := 0; it < iters; it++ {
-		lr, grad := s.lagrangianEval(s.qLB, workers, true)
+		lr, grad := s.lagrangianEval(s.qLB, true)
+		if grad == nil {
+			break // cancelled mid-evaluation
+		}
 		if lr > s.lb {
 			s.lb = lr
 			s.lbStall = 0

@@ -1,6 +1,7 @@
 package epf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -301,7 +302,8 @@ func TestActivityConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = s.run()
+	defer s.close()
+	_ = s.run(context.Background())
 	saved := append([]float64(nil), s.act...)
 	savedObj := s.obj
 	s.recomputeState()

@@ -3,8 +3,8 @@ package epf
 import (
 	"math"
 	"sort"
+	"time"
 
-	"vodplace/internal/facloc"
 	"vodplace/internal/mip"
 )
 
@@ -35,6 +35,7 @@ func integralBlock(bs *blockSol) bool {
 // updated congestion. Duals are refreshed every rounding chunk; the paper
 // notes the whole pass costs about as much as one gradient-descent pass.
 func (s *solver) round(res *Result) {
+	roundStart := time.Now()
 	// Retarget the potential for the integer phase. The LP phase left
 	// B = LB and α tuned so the objective row competes with the capacity
 	// rows; integer granularity cannot hold the objective that close to the
@@ -73,13 +74,19 @@ func (s *solver) round(res *Result) {
 	// chunk; disk duals refresh per video, because sequential disk pile-up
 	// is exactly what rounding must react to — with frozen disk prices,
 	// every video in a chunk would favor the same cheap office.
+	//
+	// The whole phase is sequential (each video must see its predecessors'
+	// congestion), so it borrows worker 0's scratch from the pool: the same
+	// facloc buffers the LP fan-outs warmed up, reused between fan-outs.
 	const chunk = 64
-	var fs facloc.Solver
-	var prob facloc.Problem
+	ws := s.scratch.Get(0)
 	for lo := 0; lo < len(frac); lo += chunk {
 		hi := lo + chunk
 		if hi > len(frac) {
 			hi = len(frac)
+		}
+		if s.ctx.Err() != nil {
+			break
 		}
 		s.computeDuals(s.q)
 		s.computePathDuals(s.q)
@@ -88,8 +95,8 @@ func (s *solver) round(res *Result) {
 			s.addBlockRows(vi, bs, -1)
 			oldCost := s.blockCost(vi, bs)
 			s.refreshDiskDuals(s.q)
-			s.buildBlockProblem(vi, s.q, &prob)
-			fsol := fs.Solve(&prob)
+			s.buildBlockProblem(vi, s.q, &ws.prob)
+			fsol := ws.fs.Solve(&ws.prob)
 			ns := toIntSol(&fsol, &s.inst.Demands[vi])
 			s.replaceBlock(vi, &ns)
 			s.addBlockRows(vi, bs, +1)
@@ -104,22 +111,25 @@ func (s *solver) round(res *Result) {
 	if debugRound != nil {
 		debugRound("after-forced-rounding", s)
 	}
-	s.polishInteger(&bestScore, &haveBest, &fs, &prob)
+	s.polishInteger(&bestScore, &haveBest)
 
 	// Second candidate: threshold rounding of the fractional point (open
 	// y ≥ ½ plus the argmax office, serve each office from its cheapest
 	// copy), polished the same way under the shared incumbent. On small
 	// instances the potential-guided rounding can settle in a poor local
-	// optimum that this start escapes.
-	if thr := thresholdRound(s.inst, res.Sol); thr != nil {
-		s.loadSolution(thr)
-		s.recomputeState()
-		s.retuneScale()
-		s.considerIntegerIncumbent(&bestScore, &haveBest)
-		if debugRound != nil {
-			debugRound("after-threshold-rounding", s)
+	// optimum that this start escapes. Skipped entirely on cancellation —
+	// the first candidate's incumbent is the prompt answer.
+	if s.ctx.Err() == nil {
+		if thr := thresholdRound(s.inst, res.Sol); thr != nil {
+			s.loadSolution(thr)
+			s.recomputeState()
+			s.retuneScale()
+			s.considerIntegerIncumbent(&bestScore, &haveBest)
+			if debugRound != nil {
+				debugRound("after-threshold-rounding", s)
+			}
+			s.polishInteger(&bestScore, &haveBest)
 		}
-		s.polishInteger(&bestScore, &haveBest, &fs, &prob)
 	}
 
 	if haveBest {
@@ -127,6 +137,7 @@ func (s *solver) round(res *Result) {
 		s.recomputeState()
 	}
 
+	s.stats.RoundTime = time.Since(roundStart)
 	rounded := s.buildResult(res.Passes, res.Converged)
 	rounded.Rounded = true
 	*res = *rounded
@@ -139,14 +150,18 @@ func (s *solver) round(res *Result) {
 // badly once later videos have landed (e.g. stacked on an office the duals
 // later discover is overfull); this is the integer analogue of a gradient
 // pass and costs about the same per pass.
-func (s *solver) polishInteger(bestScore *float64, haveBest *bool, fs *facloc.Solver, prob *facloc.Problem) {
+func (s *solver) polishInteger(bestScore *float64, haveBest *bool) {
 	const chunk = 64
 	const polishPasses = 6
+	ws := s.scratch.Get(0)
 	order := make([]int, len(s.sol))
 	for i := range order {
 		order[i] = i
 	}
 	for pass := 0; pass < polishPasses; pass++ {
+		if s.ctx.Err() != nil {
+			return
+		}
 		// Alternate the acceptance criterion: Lagrangian merit is
 		// objective-aggressive (it will buy cost savings at priced
 		// violations), the restricted potential is feasibility-conservative.
@@ -184,8 +199,8 @@ func (s *solver) polishInteger(bestScore *float64, haveBest *bool, fs *facloc.So
 				s.addBlockRows(vi, bs, -1)
 				s.refreshDiskDuals(s.q)
 				oldCost := s.blockCost(vi, bs)
-				s.buildBlockProblem(vi, s.q, prob)
-				fsol := fs.Solve(prob)
+				s.buildBlockProblem(vi, s.q, &ws.prob)
+				fsol := ws.fs.Solve(&ws.prob)
 				ns := toIntSol(&fsol, &s.inst.Demands[vi])
 				if s.integerStepImproves(vi, bs, &ns, oldCost, useMerit, dcCap) {
 					s.replaceBlock(vi, &ns)

@@ -1,0 +1,58 @@
+package epf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats reports the runtime behavior of one solve: how much work the hot
+// path did, where the wall time went, and whether the per-worker scratch
+// economy held (one allocation per worker, reuse everywhere else). Counters
+// touched inside fan-outs are accumulated lock-free in per-worker scratch
+// and merged when the result is built; everything else is counted on the
+// sequential driver goroutine.
+//
+// Stats is observability only: nothing in the solver reads it back, so it
+// never influences numeric output.
+type Stats struct {
+	// Workers is the pool size the solve ran with.
+	Workers int
+	// Passes is the number of gradient-descent passes performed.
+	Passes int
+	// BlocksOptimized counts block subproblem solves in the descent loop
+	// (chunk optimization), across all workers.
+	BlocksOptimized int64
+	// LBBlockSolves counts block solves performed for Lagrangian bound
+	// evaluations (dual ascent, plus minimizers during polish).
+	LBBlockSolves int64
+	// DualRefreshes counts full dual-vector recomputations (chunk freezes,
+	// bound evaluations, rounding chunks).
+	DualRefreshes int64
+	// LineSearches counts exact 1-D potential line searches.
+	LineSearches int64
+	// LBEvals counts LR(λ) evaluations (each is a full pass over blocks).
+	LBEvals int64
+	// Polishes counts subgradient dual-polish rounds.
+	Polishes int
+	// ScratchAllocs / ScratchReuses report the per-worker scratch economy:
+	// allocs should stay ≤ Workers, everything else lands in reuses.
+	ScratchAllocs int64
+	ScratchReuses int64
+	// LPTime is wall time in the fractional descent phase (including bound
+	// evaluations); RoundTime is wall time in the §V-D integer phase.
+	LPTime    time.Duration
+	RoundTime time.Duration
+}
+
+// String renders a compact multi-line report, the -v output of the CLIs.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers %d, passes %d\n", st.Workers, st.Passes)
+	fmt.Fprintf(&b, "blocks optimized %d, lb block solves %d, lb evals %d, polish rounds %d\n",
+		st.BlocksOptimized, st.LBBlockSolves, st.LBEvals, st.Polishes)
+	fmt.Fprintf(&b, "dual refreshes %d, line searches %d\n", st.DualRefreshes, st.LineSearches)
+	fmt.Fprintf(&b, "scratch: %d allocs, %d reuses\n", st.ScratchAllocs, st.ScratchReuses)
+	fmt.Fprintf(&b, "time: lp %.2fs, rounding %.2fs", st.LPTime.Seconds(), st.RoundTime.Seconds())
+	return b.String()
+}

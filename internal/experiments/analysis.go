@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -49,7 +50,7 @@ func Fig2Compute(sc *Scenario) *Fig2Result {
 
 // Fig2WorkingSet prints per-office working sets sorted decreasing, as the
 // paper plots them.
-func Fig2WorkingSet(w io.Writer, cfg Config) error {
+func Fig2WorkingSet(_ context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
 	r := Fig2Compute(sc)
 	type row struct {
@@ -89,7 +90,7 @@ func Fig3Compute(sc *Scenario) *Fig3Result {
 }
 
 // Fig3Similarity prints mean/min/max similarity per window size.
-func Fig3Similarity(w io.Writer, cfg Config) error {
+func Fig3Similarity(_ context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
 	r := Fig3Compute(sc)
 	fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "window", "mean", "min", "max")
@@ -163,7 +164,7 @@ func Fig4Compute(sc *Scenario) *Fig4Result {
 }
 
 // Fig4Series prints the per-episode daily counts.
-func Fig4Series(w io.Writer, cfg Config) error {
+func Fig4Series(_ context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
 	r := Fig4Compute(sc)
 	var eps []int

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"vodplace/internal/cache"
 	"vodplace/internal/core"
+	"vodplace/internal/par"
 	"vodplace/internal/sim"
 	"vodplace/internal/workload"
 )
@@ -47,44 +49,70 @@ func (r *CompareResult) Outcome(name string) *SchemeOutcome {
 // updates and a 5% complementary cache, against Random+LRU, Random+LFU and
 // Top-100+LRU at identical disk budgets.
 func CompareSchemes(sc *Scenario) (*CompareResult, error) {
-	out := &CompareResult{}
+	return CompareSchemesContext(context.Background(), sc)
+}
 
-	mipRun, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
-	if err != nil {
-		return nil, fmt.Errorf("mip scheme: %w", err)
-	}
-	out.MIPRun = mipRun
-	out.Schemes = append(out.Schemes, SchemeOutcome{"mip", mipRun.Sim})
-
-	lru, err := sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, Seed: sc.Cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("random+lru: %w", err)
-	}
-	out.Schemes = append(out.Schemes, SchemeOutcome{"random+lru", lru})
-
-	lfu, err := sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LFU, Seed: sc.Cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("random+lfu: %w", err)
-	}
-	out.Schemes = append(out.Schemes, SchemeOutcome{"random+lfu", lfu})
-
+// CompareSchemesContext fans the four schemes out across a worker pool:
+// they share only immutable scenario state (graph path tables, library,
+// trace) and write into index-addressed slots, so the reported order is the
+// fixed scheme order regardless of which scheme finishes first.
+func CompareSchemesContext(ctx context.Context, sc *Scenario) (*CompareResult, error) {
 	topK := 100
 	if sc.Cfg.Videos < 1000 {
 		topK = sc.Cfg.Videos / 20
 	}
-	tk, err := sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, TopK: topK, Seed: sc.Cfg.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("top-k+lru: %w", err)
+	var mipRun *core.MIPRun
+	type scheme struct {
+		name string
+		run  func() (*sim.Result, error)
 	}
-	out.Schemes = append(out.Schemes, SchemeOutcome{fmt.Sprintf("top%d+lru", topK), tk})
+	schemes := []scheme{
+		{"mip", func() (*sim.Result, error) {
+			r, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
+			if err != nil {
+				return nil, err
+			}
+			mipRun = r // read back only after the pool barrier
+			return r.Sim, nil
+		}},
+		{"random+lru", func() (*sim.Result, error) {
+			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, Seed: sc.Cfg.Seed})
+		}},
+		{"random+lfu", func() (*sim.Result, error) {
+			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LFU, Seed: sc.Cfg.Seed})
+		}},
+		{fmt.Sprintf("top%d+lru", topK), func() (*sim.Result, error) {
+			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, TopK: topK, Seed: sc.Cfg.Seed})
+		}},
+	}
+	results := make([]*sim.Result, len(schemes))
+	errs := make([]error, len(schemes))
+	pool := par.New(len(schemes))
+	defer pool.Close()
+	if err := pool.Run(ctx, len(schemes), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i], errs[i] = schemes[i].run()
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("%s scheme: %w", schemes[i].name, e)
+		}
+	}
+	out := &CompareResult{MIPRun: mipRun}
+	for i := range schemes {
+		out.Schemes = append(out.Schemes, SchemeOutcome{schemes[i].name, results[i]})
+	}
 	return out, nil
 }
 
 // Fig5PeakBandwidth prints the peak link bandwidth per scheme plus a daily
 // peak series, the Fig. 5 content.
-func Fig5PeakBandwidth(w io.Writer, cfg Config) error {
+func Fig5PeakBandwidth(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
-	res, err := CompareSchemes(sc)
+	res, err := CompareSchemesContext(ctx, sc)
 	if err != nil {
 		return err
 	}
@@ -121,9 +149,9 @@ func Fig5PeakBandwidth(w io.Writer, cfg Config) error {
 }
 
 // Fig6Aggregate prints total and per-day aggregate transfer volume.
-func Fig6Aggregate(w io.Writer, cfg Config) error {
+func Fig6Aggregate(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
-	res, err := CompareSchemes(sc)
+	res, err := CompareSchemesContext(ctx, sc)
 	if err != nil {
 		return err
 	}
@@ -185,9 +213,9 @@ func Fig7Compute(run *core.MIPRun) *Fig7Result {
 }
 
 // Fig7DiskByPopularity prints the popularity-class disk split.
-func Fig7DiskByPopularity(w io.Writer, cfg Config) error {
+func Fig7DiskByPopularity(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
-	run, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
+	run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
 	if err != nil {
 		return err
 	}
@@ -236,9 +264,9 @@ func Fig8Compute(run *core.MIPRun) *Fig8Result {
 }
 
 // Fig8Copies prints copy counts at sampled ranks.
-func Fig8Copies(w io.Writer, cfg Config) error {
+func Fig8Copies(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
-	run, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
+	run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
 	if err != nil {
 		return err
 	}
@@ -286,7 +314,7 @@ func Fig9Compute(sc *Scenario) (*Fig9Result, error) {
 }
 
 // Fig9LRUBehavior prints the LRU pathology metrics.
-func Fig9LRUBehavior(w io.Writer, cfg Config) error {
+func Fig9LRUBehavior(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
 	r, err := Fig9Compute(sc)
 	if err != nil {
@@ -312,11 +340,11 @@ type Table2Result struct {
 
 // Table2Compute compares the MIP scheme to LRU caching with 4 regional
 // origin servers at the given disk factor.
-func Table2Compute(cfg Config, diskFactor float64) (*Table2Result, error) {
+func Table2Compute(ctx context.Context, cfg Config, diskFactor float64) (*Table2Result, error) {
 	c := cfg
 	c.DiskFactor = diskFactor
 	sc := NewScenario(c)
-	mipRun, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
+	mipRun, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver()})
 	if err != nil {
 		return nil, err
 	}
@@ -336,13 +364,13 @@ func Table2Compute(cfg Config, diskFactor float64) (*Table2Result, error) {
 }
 
 // Table2Origin prints the Table II comparison at 2x and 6x disk.
-func Table2Origin(w io.Writer, cfg Config) error {
+func Table2Origin(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n", "", "2x MIP", "2x LRU", "6x MIP", "6x LRU")
-	r2, err := Table2Compute(cfg, 2.0)
+	r2, err := Table2Compute(ctx, cfg, 2.0)
 	if err != nil {
 		return err
 	}
-	r6, err := Table2Compute(cfg, 6.0)
+	r6, err := Table2Compute(ctx, cfg, 6.0)
 	if err != nil {
 		return err
 	}

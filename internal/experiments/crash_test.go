@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestInfeasibleProbeRegression pins the fix for a solver blow-up: on
 // infeasible FEAS(B) instances (here: 1-second constraint windows at low
@@ -13,7 +16,7 @@ func TestInfeasibleProbeRegression(t *testing.T) {
 	}
 	cfg := Config{Videos: 400, Days: 16, VHOs: 16, RequestsPerVideoPerDay: 30,
 		MaxPasses: 30, Seed: 1, LinkCapMbps: 400}
-	rows, err := Table5Compute(cfg, []int64{1})
+	rows, err := Table5Compute(context.Background(), cfg, []int64{1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestFig2(t *testing.T) {
 		t.Errorf("max working-set fraction %g outside (0,1]", frac)
 	}
 	var buf bytes.Buffer
-	if err := Fig2WorkingSet(&buf, quickCfg()); err != nil {
+	if err := Fig2WorkingSet(context.Background(), &buf, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "max working set") {
@@ -178,7 +179,7 @@ func TestProbeFeasibleBounds(t *testing.T) {
 	for l := range bigLinks {
 		bigLinks[l] = 1e6
 	}
-	if !probeFeasible(sc, bigDisk, bigLinks, 7) {
+	if !probeFeasible(context.Background(), sc, bigDisk, bigLinks, 7) {
 		t.Error("generous capacities reported infeasible")
 	}
 	// Disk below one copy of the library must be infeasible.
@@ -186,7 +187,7 @@ func TestProbeFeasibleBounds(t *testing.T) {
 	for i := range tinyDisk {
 		tinyDisk[i] = sc.Lib.TotalSizeGB() * 0.5 / float64(sc.Cfg.VHOs)
 	}
-	if probeFeasible(sc, tinyDisk, bigLinks, 7) {
+	if probeFeasible(context.Background(), sc, tinyDisk, bigLinks, 7) {
 		t.Error("sub-library disk reported feasible")
 	}
 }
@@ -231,7 +232,7 @@ func TestFormatWindow(t *testing.T) {
 }
 
 func TestRoundingComputeQuick(t *testing.T) {
-	rows, err := RoundingCompute(quickCfg(), []int{150})
+	rows, err := RoundingCompute(context.Background(), quickCfg(), []int{150})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -33,7 +34,7 @@ const feasTolerance = 0.03
 // point under the given capacities. A false result conflates true
 // infeasibility with exceeding the pass budget, exactly as any numerical
 // feasibility probe does.
-func probeFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, day int) bool {
+func probeFeasible(ctx context.Context, sc *Scenario, diskGB []float64, linkCapMbps []float64, day int) bool {
 	b := &demand.Builder{G: sc.G, Lib: sc.Lib, DiskGB: diskGB, LinkCapMbps: linkCapMbps,
 		Cfg: demand.Config{HorizonDays: 7}}
 	inst, err := b.Instance(sc.Trace, day)
@@ -44,7 +45,7 @@ func probeFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, day in
 	if opts.MaxPasses < 60 {
 		opts.MaxPasses = 60
 	}
-	res, err := epf.Solve(inst, opts)
+	res, err := epf.SolveContext(ctx, inst, opts)
 	if err != nil {
 		return false
 	}
@@ -64,10 +65,13 @@ type Fig11Result struct {
 
 // Fig11Compute binary-searches the minimum disk factor per link capacity,
 // for uniform or heterogeneous office disks.
-func Fig11Compute(sc *Scenario, linkCaps []float64, heterogeneous bool) *Fig11Result {
+func Fig11Compute(ctx context.Context, sc *Scenario, linkCaps []float64, heterogeneous bool) *Fig11Result {
 	out := &Fig11Result{LinkCapMbps: linkCaps}
 	day := minInt(7, sc.Cfg.Days-1)
 	for _, cap := range linkCaps {
+		if ctx.Err() != nil {
+			break // cancelled: report only the caps probed so far
+		}
 		links := core.UniformLinks(sc.G, cap)
 		disk := func(factor float64) []float64 {
 			if heterogeneous {
@@ -76,17 +80,17 @@ func Fig11Compute(sc *Scenario, linkCaps []float64, heterogeneous bool) *Fig11Re
 			return core.UniformDisk(sc.Lib, sc.Cfg.VHOs, factor)
 		}
 		lo, hi := 1.02, 8.0
-		if !probeFeasible(sc, disk(hi), links, day) {
+		if !probeFeasible(ctx, sc, disk(hi), links, day) {
 			out.MinDiskFactor = append(out.MinDiskFactor, 0)
 			continue
 		}
-		if probeFeasible(sc, disk(lo), links, day) {
+		if probeFeasible(ctx, sc, disk(lo), links, day) {
 			out.MinDiskFactor = append(out.MinDiskFactor, lo)
 			continue
 		}
 		for iter := 0; iter < 7; iter++ {
 			mid := (lo + hi) / 2
-			if probeFeasible(sc, disk(mid), links, day) {
+			if probeFeasible(ctx, sc, disk(mid), links, day) {
 				hi = mid
 			} else {
 				lo = mid
@@ -105,11 +109,14 @@ func minInt(a, b int) int {
 }
 
 // Fig11Feasibility prints the uniform and heterogeneous feasibility lines.
-func Fig11Feasibility(w io.Writer, cfg Config) error {
+func Fig11Feasibility(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
 	caps := []float64{cfg.withDefaults().LinkCapMbps / 2, cfg.withDefaults().LinkCapMbps, cfg.withDefaults().LinkCapMbps * 2, cfg.withDefaults().LinkCapMbps * 4}
-	uni := Fig11Compute(sc, caps, false)
-	het := Fig11Compute(sc, caps, true)
+	uni := Fig11Compute(ctx, sc, caps, false)
+	het := Fig11Compute(ctx, sc, caps, true)
+	if err := ctx.Err(); err != nil {
+		return err // cancelled probes read as infeasible; don't print them
+	}
 	fmt.Fprintf(w, "%-16s %18s %18s\n", "link cap (Mb/s)", "uniform min disk", "nonuniform min disk")
 	for i, c := range caps {
 		fmt.Fprintf(w, "%-16.0f %17.2fx %17.2fx\n", c, uni.MinDiskFactor[i], het.MinDiskFactor[i])
@@ -127,14 +134,14 @@ type Fig12Result struct {
 }
 
 // Fig12Compute sweeps the complementary cache share.
-func Fig12Compute(sc *Scenario, fractions []float64) (*Fig12Result, error) {
+func Fig12Compute(ctx context.Context, sc *Scenario, fractions []float64) (*Fig12Result, error) {
 	out := &Fig12Result{CacheFractions: fractions}
 	for _, f := range fractions {
 		cf := f
 		if cf == 0 {
 			cf = -1 // MIPOptions: negative means exactly zero cache
 		}
-		run, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{
+		run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{
 			CacheFraction: cf,
 			Solver:        sc.Cfg.solver(),
 		})
@@ -148,10 +155,10 @@ func Fig12Compute(sc *Scenario, fractions []float64) (*Fig12Result, error) {
 }
 
 // Fig12CacheSweep prints the cache sweep.
-func Fig12CacheSweep(w io.Writer, cfg Config) error {
+func Fig12CacheSweep(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
 	fractions := []float64{0, 0.01, 0.05, 0.10, 0.25}
-	r, err := Fig12Compute(sc, fractions)
+	r, err := Fig12Compute(ctx, sc, fractions)
 	if err != nil {
 		return err
 	}
@@ -167,7 +174,7 @@ func Fig12CacheSweep(w io.Writer, cfg Config) error {
 // verdict hangs on the link rows; disk gets only a loose sanity guard
 // against the solver's tight-disk plateau masquerading as link
 // infeasibility.
-func probeLinkFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, day int) bool {
+func probeLinkFeasible(ctx context.Context, sc *Scenario, diskGB []float64, linkCapMbps []float64, day int) bool {
 	b := &demand.Builder{G: sc.G, Lib: sc.Lib, DiskGB: diskGB, LinkCapMbps: linkCapMbps,
 		Cfg: demand.Config{HorizonDays: 7}}
 	inst, err := b.Instance(sc.Trace, day)
@@ -178,7 +185,7 @@ func probeLinkFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, da
 	if opts.MaxPasses < 60 {
 		opts.MaxPasses = 60
 	}
-	res, err := epf.Solve(inst, opts)
+	res, err := epf.SolveContext(ctx, inst, opts)
 	if err != nil {
 		return false
 	}
@@ -188,17 +195,17 @@ func probeLinkFeasible(sc *Scenario, diskGB []float64, linkCapMbps []float64, da
 
 // minFeasibleLinkCap binary-searches the lowest uniform link capacity at
 // which the placement is ε-feasible, on a log scale over [loMbps, hiMbps].
-func minFeasibleLinkCap(sc *Scenario, diskGB []float64, loMbps, hiMbps float64, day int) float64 {
-	if !probeLinkFeasible(sc, diskGB, core.UniformLinks(sc.G, hiMbps), day) {
+func minFeasibleLinkCap(ctx context.Context, sc *Scenario, diskGB []float64, loMbps, hiMbps float64, day int) float64 {
+	if !probeLinkFeasible(ctx, sc, diskGB, core.UniformLinks(sc.G, hiMbps), day) {
 		return 0
 	}
-	if probeLinkFeasible(sc, diskGB, core.UniformLinks(sc.G, loMbps), day) {
+	if probeLinkFeasible(ctx, sc, diskGB, core.UniformLinks(sc.G, loMbps), day) {
 		return loMbps
 	}
 	lo, hi := loMbps, hiMbps
 	for iter := 0; iter < 8; iter++ {
 		mid := sqrtGeo(lo, hi)
-		if probeLinkFeasible(sc, diskGB, core.UniformLinks(sc.G, mid), day) {
+		if probeLinkFeasible(ctx, sc, diskGB, core.UniformLinks(sc.G, mid), day) {
 			hi = mid
 		} else {
 			lo = mid
@@ -235,10 +242,13 @@ type Fig13Row struct {
 
 // Fig13Compute finds the required link capacity per network and library
 // size, with aggregate disk fixed at 2x library.
-func Fig13Compute(cfg Config, sizes []int, networks []string) ([]Fig13Row, error) {
+func Fig13Compute(ctx context.Context, cfg Config, sizes []int, networks []string) ([]Fig13Row, error) {
 	var rows []Fig13Row
 	for _, netName := range networks {
 		for _, videos := range sizes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			g := namedTopology(netName)
 			c := cfg
 			c.Videos = videos
@@ -246,7 +256,7 @@ func Fig13Compute(cfg Config, sizes []int, networks []string) ([]Fig13Row, error
 			c.Days = minInt(cfg.withDefaults().Days, 14)
 			sc := buildScenarioOn(g, c)
 			disk := core.UniformDisk(sc.Lib, g.NumNodes(), 2.0)
-			cap := minFeasibleLinkCap(sc, disk, 5, 50000, 7)
+			cap := minFeasibleLinkCap(ctx, sc, disk, 5, 50000, 7)
 			rows = append(rows, Fig13Row{
 				Network:     netName,
 				Videos:      videos,
@@ -297,10 +307,10 @@ func namedTopology(name string) *topology.Graph {
 }
 
 // Fig13LibraryGrowth prints required capacity vs library size.
-func Fig13LibraryGrowth(w io.Writer, cfg Config) error {
+func Fig13LibraryGrowth(ctx context.Context, w io.Writer, cfg Config) error {
 	c := cfg.withDefaults()
 	sizes := []int{c.Videos / 4, c.Videos / 2, c.Videos}
-	rows, err := Fig13Compute(cfg, sizes, []string{"tiscali", "sprint", "ebone"})
+	rows, err := Fig13Compute(ctx, cfg, sizes, []string{"tiscali", "sprint", "ebone"})
 	if err != nil {
 		return err
 	}
@@ -323,11 +333,14 @@ type Table4Row struct {
 // aggregate disk, minimum uniform link capacity per topology. For networks
 // smaller than the trace's office count, the offices with the largest
 // request volumes are kept, as in the paper.
-func Table4Compute(cfg Config, names []string) ([]Table4Row, error) {
+func Table4Compute(ctx context.Context, cfg Config, names []string) ([]Table4Row, error) {
 	c := cfg.withDefaults()
 	base := NewScenario(cfg)
 	var rows []Table4Row
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := namedTopology(name)
 		sc := base
 		switch {
@@ -346,7 +359,7 @@ func Table4Compute(cfg Config, names []string) ([]Table4Row, error) {
 				Sys: &core.System{G: g, Lib: base.Lib}}
 		}
 		disk := core.UniformDisk(sc.Lib, g.NumNodes(), 3.0)
-		cap := minFeasibleLinkCap(sc, disk, 5, 80000, minInt(7, c.Days-1))
+		cap := minFeasibleLinkCap(ctx, sc, disk, 5, 80000, minInt(7, c.Days-1))
 		rows = append(rows, Table4Row{
 			Topology:    name,
 			Nodes:       g.NumNodes(),
@@ -383,12 +396,12 @@ func remapTopVHOs(tr *workload.Trace, n int) *workload.Trace {
 }
 
 // Table4Topology prints the topology comparison.
-func Table4Topology(w io.Writer, cfg Config) error {
+func Table4Topology(ctx context.Context, w io.Writer, cfg Config) error {
 	names := []string{"backbone", "tree", "mesh", "tiscali", "sprint", "ebone"}
 	if cfg.withDefaults().VHOs != 55 {
 		names = []string{"tiscali", "sprint", "ebone"}
 	}
-	rows, err := Table4Compute(cfg, names)
+	rows, err := Table4Compute(ctx, cfg, names)
 	if err != nil {
 		return err
 	}
@@ -411,11 +424,14 @@ type Table5Row struct {
 // minimum feasible link capacity, then a placement solved at that capacity
 // and played against the full trace, reporting the realized maxima inside
 // the enforced windows and over the whole period.
-func Table5Compute(cfg Config, windows []int64) ([]Table5Row, error) {
+func Table5Compute(ctx context.Context, cfg Config, windows []int64) ([]Table5Row, error) {
 	sc := NewScenario(cfg)
 	day := minInt(7, sc.Cfg.Days-1)
 	var rows []Table5Row
 	for _, win := range windows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Find the feasibility constraint for this window size.
 		var cap float64
 		probe := func(capMbps float64) bool {
@@ -431,7 +447,7 @@ func Table5Compute(cfg Config, windows []int64) ([]Table5Row, error) {
 			if opts.MaxPasses < 60 {
 				opts.MaxPasses = 60
 			}
-			res, err := epf.Solve(inst, opts)
+			res, err := epf.SolveContext(ctx, inst, opts)
 			if err != nil {
 				return false
 			}
@@ -454,7 +470,7 @@ func Table5Compute(cfg Config, windows []int64) ([]Table5Row, error) {
 		cap = hi
 
 		// Solve at that capacity and play the trace.
-		run, err := sc.Sys.RunMIP(sc.Trace, core.MIPOptions{
+		run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{
 			WindowSec:     win,
 			CacheFraction: -1,
 			Solver:        sc.Cfg.solver(),
@@ -503,9 +519,9 @@ func maxDuringEnforcedWindows(sc *Scenario, run *core.MIPRun, win int64) float64
 }
 
 // Table5Windows prints the window sweep.
-func Table5Windows(w io.Writer, cfg Config) error {
+func Table5Windows(ctx context.Context, w io.Writer, cfg Config) error {
 	windows := []int64{1, 60, 3600, workload.SecondsPerDay}
-	rows, err := Table5Compute(cfg, windows)
+	rows, err := Table5Compute(ctx, cfg, windows)
 	if err != nil {
 		return err
 	}

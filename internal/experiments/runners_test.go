@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -43,7 +44,7 @@ func TestAllRunnersProduceOutput(t *testing.T) {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := r.Run(&buf, cfg); err != nil {
+			if err := r.Run(context.Background(), &buf, cfg); err != nil {
 				t.Fatalf("%s failed: %v", r.ID, err)
 			}
 			out := buf.String()
@@ -65,7 +66,7 @@ func TestTable6Ordering(t *testing.T) {
 	}
 	cfg := Config{Quick: true, Videos: 200, Days: 16, VHOs: 6,
 		RequestsPerVideoPerDay: 10, Seed: 4, MaxPasses: 25}
-	rows, err := Table6Compute(cfg)
+	rows, err := Table6Compute(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -79,7 +80,7 @@ type Table3Row struct {
 // Table3Compute measures the EPF solver across library sizes (geometric mean
 // over three networks × two disk sizes, as the paper aggregates) and the
 // dense-simplex baseline on the sizes it can handle.
-func Table3Compute(cfg Config, epfSizes, lpSizes []int) ([]Table3Row, error) {
+func Table3Compute(ctx context.Context, cfg Config, epfSizes, lpSizes []int) ([]Table3Row, error) {
 	c := cfg.withDefaults()
 	nets := []*topology.Graph{topology.Tiscali(), topology.Sprint(), topology.Ebone()}
 	rows := make(map[int]*Table3Row)
@@ -101,7 +102,7 @@ func Table3Compute(cfg Config, epfSizes, lpSizes []int) ([]Table3Row, error) {
 					return nil, fmt.Errorf("table3: building %d-video instance: %w", videos, err)
 				}
 				elapsed, allocMB := measure(func() {
-					if _, err := epf.SolveInteger(inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}); err != nil {
+					if _, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}); err != nil {
 						panic(err)
 					}
 				})
@@ -124,7 +125,7 @@ func Table3Compute(cfg Config, epfSizes, lpSizes []int) ([]Table3Row, error) {
 		}
 		// EPF on the identical instance, for the speedup column.
 		epfT, _ := measure(func() {
-			if _, err := epf.SolveInteger(inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}); err != nil {
+			if _, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}); err != nil {
 				panic(err)
 			}
 		})
@@ -159,7 +160,7 @@ func Table3Compute(cfg Config, epfSizes, lpSizes []int) ([]Table3Row, error) {
 }
 
 // Table3Scalability prints the scalability table.
-func Table3Scalability(w io.Writer, cfg Config) error {
+func Table3Scalability(ctx context.Context, w io.Writer, cfg Config) error {
 	c := cfg.withDefaults()
 	epfSizes := []int{c.Videos / 2, c.Videos, c.Videos * 2, c.Videos * 5}
 	lpSizes := []int{20, 40, 80}
@@ -167,7 +168,7 @@ func Table3Scalability(w io.Writer, cfg Config) error {
 		epfSizes = []int{c.Videos / 2, c.Videos}
 		lpSizes = []int{10, 20}
 	}
-	rows, err := Table3Compute(cfg, epfSizes, lpSizes)
+	rows, err := Table3Compute(ctx, cfg, epfSizes, lpSizes)
 	if err != nil {
 		return err
 	}
@@ -198,7 +199,7 @@ type Table6Row struct {
 
 // Table6Compute reproduces Table VI: update frequency and estimation
 // accuracy, without a complementary cache.
-func Table6Compute(cfg Config) ([]Table6Row, error) {
+func Table6Compute(ctx context.Context, cfg Config) ([]Table6Row, error) {
 	sc := NewScenario(cfg)
 	type variant struct {
 		name string
@@ -213,7 +214,7 @@ func Table6Compute(cfg Config) ([]Table6Row, error) {
 	}
 	var rows []Table6Row
 	for _, v := range variants {
-		run, err := sc.Sys.RunMIP(sc.Trace, v.opts)
+		run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, v.opts)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s: %w", v.name, err)
 		}
@@ -229,8 +230,8 @@ func Table6Compute(cfg Config) ([]Table6Row, error) {
 }
 
 // Table6Updates prints the update-frequency table.
-func Table6Updates(w io.Writer, cfg Config) error {
-	rows, err := Table6Compute(cfg)
+func Table6Updates(ctx context.Context, w io.Writer, cfg Config) error {
+	rows, err := Table6Compute(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -252,7 +253,7 @@ type RoundingRow struct {
 // RoundingCompute reproduces the §V-D rounding report: optimality gap (vs
 // the Lagrangian bound) and constraint violation before and after rounding,
 // per library size.
-func RoundingCompute(cfg Config, sizes []int) ([]RoundingRow, error) {
+func RoundingCompute(ctx context.Context, cfg Config, sizes []int) ([]RoundingRow, error) {
 	c := cfg.withDefaults()
 	g := topology.Sprint()
 	var rows []RoundingRow
@@ -261,11 +262,11 @@ func RoundingCompute(cfg Config, sizes []int) ([]RoundingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		frac, err := epf.Solve(inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+		frac, err := epf.SolveContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
 		if err != nil {
 			return nil, err
 		}
-		rounded, err := epf.SolveInteger(inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+		rounded, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
 		if err != nil {
 			return nil, err
 		}
@@ -280,13 +281,13 @@ func RoundingCompute(cfg Config, sizes []int) ([]RoundingRow, error) {
 }
 
 // RoundingStats prints the rounding-quality report.
-func RoundingStats(w io.Writer, cfg Config) error {
+func RoundingStats(ctx context.Context, w io.Writer, cfg Config) error {
 	c := cfg.withDefaults()
 	sizes := []int{c.Videos / 4, c.Videos, c.Videos * 4}
 	if c.Quick {
 		sizes = []int{c.Videos / 2, c.Videos}
 	}
-	rows, err := RoundingCompute(cfg, sizes)
+	rows, err := RoundingCompute(ctx, cfg, sizes)
 	if err != nil {
 		return err
 	}

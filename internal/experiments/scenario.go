@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -142,16 +143,17 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// Runner is one registered experiment.
+// Runner is one registered experiment. Run observes ctx: experiments that
+// reach the solver stop within one chunk of a cancellation.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, cfg Config) error
+	Run   func(ctx context.Context, w io.Writer, cfg Config) error
 }
 
 var registry []Runner
 
-func register(id, title string, run func(io.Writer, Config) error) {
+func register(id, title string, run func(context.Context, io.Writer, Config) error) {
 	registry = append(registry, Runner{ID: id, Title: title, Run: run})
 }
 
@@ -172,11 +174,15 @@ func Lookup(id string) (Runner, bool) {
 	return Runner{}, false
 }
 
-// RunAll executes every experiment in id order.
-func RunAll(w io.Writer, cfg Config) error {
+// RunAll executes every experiment in id order, stopping at the first
+// error or cancellation.
+func RunAll(ctx context.Context, w io.Writer, cfg Config) error {
 	for _, r := range All() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "==== %s: %s ====\n", r.ID, r.Title)
-		if err := r.Run(w, cfg); err != nil {
+		if err := r.Run(ctx, w, cfg); err != nil {
 			return fmt.Errorf("experiment %s: %w", r.ID, err)
 		}
 		fmt.Fprintln(w)

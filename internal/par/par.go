@@ -1,0 +1,172 @@
+// Package par is the shared concurrent execution runtime for the solver,
+// experiment and simulation layers: a persistent worker pool with stable
+// worker identities, typed per-worker scratch slots, and an index-range
+// fan-out primitive with cooperative context cancellation.
+//
+// The EPF solver's speed claim rests on block subproblems parallelizing;
+// before this package each fan-out respawned goroutines and reallocated its
+// facility-location scratch per chunk. A Pool is created once per solve and
+// reused for every chunk, pass and bound evaluation, so a fan-out costs two
+// channel operations per worker instead of goroutine spawns, and scratch
+// allocated on a worker's first block survives for the whole solve.
+//
+// Determinism contract: Run partitions work by index range and callers
+// write results into caller-owned, index-addressed slots; any reduction
+// over those results must happen in index order on the caller's goroutine.
+// Under that contract the worker count never changes numeric output.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// job is one contiguous index range dispatched to a worker.
+type job struct {
+	fn     func(worker, lo, hi int)
+	lo, hi int
+	done   *sync.WaitGroup
+}
+
+// Pool is a fixed-size worker pool. Workers are spawned once by New and live
+// until Close; worker indices are stable across Run calls, so callers may
+// keep per-worker state (see Slots) without locks.
+//
+// A Pool serializes fan-outs: it is not safe for concurrent Run calls from
+// multiple goroutines. Each solve owns its pool.
+type Pool struct {
+	workers int
+	jobs    []chan job
+	live    sync.WaitGroup
+	closed  bool
+}
+
+// New returns a pool with n workers; n < 1 selects runtime.NumCPU().
+func New(n int) *Pool {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	p := &Pool{workers: n, jobs: make([]chan job, n)}
+	for w := 0; w < n; w++ {
+		ch := make(chan job, 1)
+		p.jobs[w] = ch
+		p.live.Add(1)
+		go func(w int, ch chan job) {
+			defer p.live.Done()
+			for j := range ch {
+				j.fn(w, j.lo, j.hi)
+				j.done.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run partitions [0, n) into at most Workers() contiguous ranges and
+// executes fn(worker, lo, hi) for each non-empty range, one range per
+// worker, blocking until all ranges complete. With one worker the range
+// runs inline on the caller's goroutine.
+//
+// If ctx is already cancelled nothing is dispatched and ctx.Err() is
+// returned. Once dispatched a fan-out always runs to completion — fns that
+// process long ranges should poll ctx themselves and return early; Run
+// still waits for them, it never abandons a worker mid-write.
+func (p *Pool) Run(ctx context.Context, n int, fn func(worker, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.workers == 1 {
+		fn(0, 0, n)
+		return nil
+	}
+	per := (n + p.workers - 1) / p.workers
+	var done sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		done.Add(1)
+		p.jobs[w] <- job{fn: fn, lo: lo, hi: hi, done: &done}
+	}
+	done.Wait()
+	return nil
+}
+
+// Close shuts the workers down and waits for them to exit. The pool must
+// not be used afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	p.live.Wait()
+}
+
+// Slots is a typed per-worker scratch vector: one lazily-allocated *T per
+// pool worker. During a fan-out, slot w is touched only by the goroutine
+// running worker w's range, so Get is lock-free; the pool's completion
+// barrier orders those writes before any caller-side read (Each, Counts).
+//
+// Slots also counts allocations vs reuses, the solver's scratch-economy
+// observability: a healthy solve allocates once per worker and reuses for
+// every subsequent chunk.
+type Slots[T any] struct {
+	slots  []*T
+	allocs []int64
+	gets   []int64
+}
+
+// NewSlots returns an empty scratch vector sized to p's worker count.
+func NewSlots[T any](p *Pool) *Slots[T] {
+	n := p.Workers()
+	return &Slots[T]{
+		slots:  make([]*T, n),
+		allocs: make([]int64, n),
+		gets:   make([]int64, n),
+	}
+}
+
+// Get returns worker w's scratch slot, allocating it on first use. Call it
+// once per Run range, not per item, so the reuse counters reflect fan-outs.
+func (s *Slots[T]) Get(w int) *T {
+	s.gets[w]++
+	if s.slots[w] == nil {
+		s.slots[w] = new(T)
+		s.allocs[w]++
+	}
+	return s.slots[w]
+}
+
+// Counts returns total slot allocations and reuses (gets served by an
+// already-live slot) across all workers.
+func (s *Slots[T]) Counts() (allocs, reuses int64) {
+	for w := range s.slots {
+		allocs += s.allocs[w]
+		reuses += s.gets[w] - s.allocs[w]
+	}
+	return allocs, reuses
+}
+
+// Each invokes fn for every allocated slot, in worker order. Call only
+// between fan-outs (e.g. to merge per-worker counters after a solve).
+func (s *Slots[T]) Each(fn func(worker int, t *T)) {
+	for w, t := range s.slots {
+		if t != nil {
+			fn(w, t)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		p := New(workers)
+		for _, n := range []int{1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			err := p.Run(context.Background(), n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunWorkerIndicesDistinct(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	seen := make(map[int]int) // worker -> range size
+	var mu sync.Mutex
+	if err := p.Run(context.Background(), 100, func(w, lo, hi int) {
+		mu.Lock()
+		seen[w] += hi - lo
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for w, sz := range seen {
+		if w < 0 || w >= 4 {
+			t.Errorf("worker index %d out of range", w)
+		}
+		total += sz
+	}
+	if total != 100 {
+		t.Errorf("ranges cover %d indices, want 100", total)
+	}
+}
+
+func TestRunEmptyAndOversizedPool(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	if err := p.Run(context.Background(), 0, func(_, _, _ int) {
+		t.Error("fn invoked for n=0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// n < workers: each non-empty range is a single index.
+	var count int32
+	if err := p.Run(context.Background(), 3, func(_, lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("range [%d,%d) not a single index", lo, hi)
+		}
+		atomic.AddInt32(&count, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("%d ranges, want 3", count)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := p.Run(ctx, 10, func(_, _, _ int) { called = true })
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("fn dispatched despite cancelled context")
+	}
+}
+
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var sum int64
+		if err := p.Run(context.Background(), 10, func(_, lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			atomic.AddInt64(&sum, local)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum != 45 {
+			t.Fatalf("round %d: sum %d, want 45", round, sum)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close()
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Errorf("Workers() = %d, want >= 1", p.Workers())
+	}
+}
+
+type scratchT struct {
+	buf []float64
+	n   int
+}
+
+func TestSlotsAllocateOncePerWorker(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	slots := NewSlots[scratchT](p)
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		if err := p.Run(context.Background(), 400, func(w, lo, hi int) {
+			ws := slots.Get(w)
+			if ws.buf == nil {
+				ws.buf = make([]float64, 16)
+			}
+			ws.n += hi - lo
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs, reuses := slots.Counts()
+	if allocs > 4 {
+		t.Errorf("%d allocations for 4 workers", allocs)
+	}
+	if allocs+reuses != 4*rounds {
+		t.Errorf("allocs+reuses = %d, want %d gets", allocs+reuses, 4*rounds)
+	}
+	total := 0
+	slots.Each(func(_ int, s *scratchT) { total += s.n })
+	if total != 400*rounds {
+		t.Errorf("scratch saw %d items, want %d", total, 400*rounds)
+	}
+}
+
+// blockWork stands in for one block subproblem: enough arithmetic that the
+// fan-out cost is visible but not dominant.
+func blockWork(scratch []float64, i int) float64 {
+	x := float64(i%97) + 1
+	for k := range scratch {
+		x = x*1.0000001 + scratch[k]
+		scratch[k] = x * 0.5
+	}
+	return x
+}
+
+// BenchmarkPooledFanout measures the persistent-pool fan-out with reused
+// per-worker scratch — the runtime every solver chunk now goes through.
+func BenchmarkPooledFanout(b *testing.B) {
+	const n = 128 // one default chunk
+	p := New(8)
+	defer p.Close()
+	slots := NewSlots[scratchT](p)
+	out := make([]float64, n)
+	ctx := context.Background()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		_ = p.Run(ctx, n, func(w, lo, hi int) {
+			ws := slots.Get(w)
+			if ws.buf == nil {
+				ws.buf = make([]float64, 256)
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = blockWork(ws.buf, i)
+			}
+		})
+	}
+}
+
+// BenchmarkSpawnFanout is the pre-refactor baseline: goroutines spawned and
+// scratch allocated per chunk, as the hand-rolled fan-outs in epf did.
+func BenchmarkSpawnFanout(b *testing.B) {
+	const n = 128
+	const workers = 8
+	out := make([]float64, n)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var wg sync.WaitGroup
+		per := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scratch := make([]float64, 256)
+				for i := lo; i < hi; i++ {
+					out[i] = blockWork(scratch, i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}

@@ -37,6 +37,8 @@
 package vodplace
 
 import (
+	"context"
+
 	"vodplace/internal/catalog"
 	"vodplace/internal/core"
 	"vodplace/internal/demand"
@@ -171,6 +173,9 @@ type (
 	SolverResult = epf.Result
 	// PassInfo reports per-pass solver progress.
 	PassInfo = epf.PassInfo
+	// SolverStats reports the solver's work breakdown: blocks optimized,
+	// dual refreshes, line searches, scratch reuse, per-phase wall time.
+	SolverStats = epf.Stats
 )
 
 // Solve runs the exponential-potential-function LP solver (the paper's core
@@ -180,10 +185,22 @@ func Solve(inst *Instance, opts SolverOptions) (*SolverResult, error) {
 	return epf.Solve(inst, opts)
 }
 
+// SolveContext is Solve with cooperative cancellation: the solver stops at
+// the next chunk boundary after ctx is done and returns the partial result
+// alongside ctx.Err().
+func SolveContext(ctx context.Context, inst *Instance, opts SolverOptions) (*SolverResult, error) {
+	return epf.SolveContext(ctx, inst, opts)
+}
+
 // SolveInteger runs Solve plus the §V-D rounding pass, returning an integral
 // placement.
 func SolveInteger(inst *Instance, opts SolverOptions) (*SolverResult, error) {
 	return epf.SolveInteger(inst, opts)
+}
+
+// SolveIntegerContext is SolveInteger with cooperative cancellation.
+func SolveIntegerContext(ctx context.Context, inst *Instance, opts SolverOptions) (*SolverResult, error) {
+	return epf.SolveIntegerContext(ctx, inst, opts)
 }
 
 // Simulation and schemes.
