@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build vet test race check bench fmt
+# Per-target budget for `make fuzz`; CI uses FUZZTIME=30s.
+FUZZTIME ?= 10s
+FUZZ_TARGETS := FuzzNewInstance FuzzEPFSolve FuzzFacloc
+
+.PHONY: build vet test race check bench fuzz cover fmt
 
 build:
 	$(GO) build ./...
@@ -9,17 +13,30 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The race run is the concurrency runtime's real gate: every solver fan-out,
 # the CompareSchemes scheme pool and the cancellation paths execute under it.
 race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -shuffle=on -timeout 30m ./...
 
 check: build vet race
 
+# -run '^$' keeps the benchmark run from re-executing the whole test suite
+# alongside the benchmarks.
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# go test accepts a single -fuzz pattern per invocation, so budgeted runs
+# loop over the targets explicitly.
+fuzz:
+	for t in $(FUZZ_TARGETS); do \
+		$(GO) test ./internal/verify/ -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+cover:
+	$(GO) test -shuffle=on -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 fmt:
 	gofmt -l -w .

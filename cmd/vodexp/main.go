@@ -34,6 +34,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "random seed (default 1)")
 		passes = flag.Int("passes", 0, "solver pass cap (default 80)")
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
+		doAud  = flag.Bool("verify", false, "re-check every solver result with the independent certificate auditor")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		Seed:                   *seed,
 		MaxPasses:              *passes,
 		Quick:                  *quick,
+		Verify:                 *doAud,
 	}
 	// Ctrl-C / SIGTERM cancels the running experiment cooperatively.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -25,6 +25,7 @@ import (
 	"vodplace/internal/demand"
 	"vodplace/internal/epf"
 	"vodplace/internal/topology"
+	"vodplace/internal/verify"
 	"vodplace/internal/workload"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		passes  = flag.Int("passes", 120, "solver pass cap")
 		verbose = flag.Bool("v", false, "per-pass solver progress")
+		doAudit = flag.Bool("verify", false, "re-check the solution with the independent certificate auditor")
 	)
 	flag.Parse()
 
@@ -133,4 +135,13 @@ func main() {
 	}
 	fmt.Printf("per-office disk use: min %.0f GB, max %.0f GB (capacity %.0f GB)\n",
 		minU, maxU, inst.DiskGB[0])
+
+	if *doAudit {
+		rep := verify.Audit(inst, res)
+		fmt.Printf("\nverify: %s\n", rep)
+		if err := rep.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

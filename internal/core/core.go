@@ -18,6 +18,7 @@ import (
 	"vodplace/internal/mip"
 	"vodplace/internal/sim"
 	"vodplace/internal/topology"
+	"vodplace/internal/verify"
 	"vodplace/internal/workload"
 )
 
@@ -55,6 +56,9 @@ type MIPOptions struct {
 	UpdateWeight float64
 	// Solver configures the EPF solver.
 	Solver epf.Options
+	// Verify runs the independent certificate auditor (internal/verify) on
+	// every per-period solution and fails the run on any violated claim.
+	Verify bool
 }
 
 func (o *MIPOptions) withDefaults() MIPOptions {
@@ -148,6 +152,11 @@ func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIP
 		res, err := epf.SolveIntegerContext(ctx, inst, o.Solver)
 		if err != nil {
 			return nil, fmt.Errorf("core: solving day %d: %w", day, err)
+		}
+		if o.Verify {
+			if rep := verify.Audit(inst, res); !rep.Ok() {
+				return nil, fmt.Errorf("core: day %d: %w", day, rep.Err())
+			}
 		}
 		plan := &Plan{
 			Day:      day,

@@ -124,6 +124,13 @@ type Result struct {
 	Objective float64
 	// Gap is (Objective − LowerBound)/LowerBound (0 when LowerBound is 0).
 	Gap float64
+	// RowDuals is the non-negative coupling-row dual vector λ that produced
+	// LowerBound: entries 0..n-1 price the disk rows (office i), entry
+	// n + t·L + l prices link l in time slice t. Together with per-block
+	// dual-ascent bounds it certifies LowerBound ≤ OPT; internal/verify
+	// re-derives that certificate without the solver's code paths. All-zero
+	// when the bound is still the initial no-network bound.
+	RowDuals []float64
 	// Violation summarizes Sol's constraint violations.
 	Violation mip.Violation
 	// Passes is the number of gradient-descent passes performed.
@@ -188,6 +195,7 @@ type solver struct {
 	bFloor   float64   // absolute floor for the objective target
 	qTmp     []float64 // scaled-dual scratch for lower-bound evaluations
 	qLB      []float64 // persistent polished dual vector (nil until first polish)
+	lbDuals  []float64 // dual vector that achieved the best lower bound so far
 	lbStall  int       // passes since the lower bound last improved
 	polishes int       // completed polish rounds (decays the ascent step)
 
@@ -288,6 +296,9 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	s.q = make([]float64, s.rows)
 	s.qBar = make([]float64, s.rows)
 	s.qTmp = make([]float64, s.rows)
+	// The initial bound (LowerBoundNoNetwork) is the Lagrangian value at
+	// λ = 0, so the zero vector is its certificate.
+	s.lbDuals = make([]float64, s.rows)
 	s.lbScale = 1
 	if s.opts.ChunkSize <= 0 {
 		// Adaptive: at least ~24 dual refreshes per pass, chunk in [8, 256].
@@ -720,6 +731,9 @@ passes:
 			if bestLR > s.lb+1e-12*math.Abs(s.lb) {
 				s.lb = bestLR
 				s.lbStall = 0
+				for r := range s.lbDuals {
+					s.lbDuals[r] = bestScale * s.qBar[r]
+				}
 			} else {
 				s.lbStall++
 			}
@@ -793,6 +807,7 @@ func (s *solver) buildResult(passes int, converged bool) *Result {
 		LowerBound: s.lb,
 		Objective:  obj,
 		Gap:        gap,
+		RowDuals:   append([]float64(nil), s.lbDuals...),
 		Violation:  out.Check(),
 		Passes:     passes,
 		Converged:  converged,
@@ -1198,6 +1213,7 @@ func (s *solver) polishLB() {
 		if lr > s.lb {
 			s.lb = lr
 			s.lbStall = 0
+			copy(s.lbDuals, s.qLB) // before the ascent step mutates qLB
 		}
 		eta := 0.5 / (1 + float64(s.polishes) + float64(it))
 		for r := range s.qLB {

@@ -418,3 +418,45 @@ func TestLowerBoundMonotoneAcrossPasses(t *testing.T) {
 		}
 	}
 }
+
+// TestRowDualsContract pins the exported dual certificate: RowDuals always
+// has one entry per coupling row (n disk + L·T link), every entry is finite
+// and non-negative, and the vector is a fresh copy per Result (mutating one
+// result cannot corrupt another). internal/verify's CertifyLowerBound
+// consumes exactly this contract.
+func TestRowDualsContract(t *testing.T) {
+	inst := randomInstance(t, 5, 6, 40, 2.5, 150)
+	wantRows := inst.NumVHOs() + inst.G.NumLinks()*inst.Slices
+	for _, solve := range []struct {
+		name string
+		fn   func() (*Result, error)
+	}{
+		{"Solve", func() (*Result, error) { return Solve(inst, Options{Seed: 4, MaxPasses: 60}) }},
+		{"SolveInteger", func() (*Result, error) { return SolveInteger(inst, Options{Seed: 4, MaxPasses: 60}) }},
+	} {
+		t.Run(solve.name, func(t *testing.T) {
+			res, err := solve.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.RowDuals) != wantRows {
+				t.Fatalf("RowDuals has %d entries, want %d", len(res.RowDuals), wantRows)
+			}
+			for r, v := range res.RowDuals {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("RowDuals[%d] = %g", r, v)
+				}
+			}
+			// A second solve must return an independent copy.
+			res2, err := solve.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := res2.RowDuals[0]
+			res.RowDuals[0] = math.NaN()
+			if res2.RowDuals[0] != before {
+				t.Error("RowDuals aliases solver-internal state across results")
+			}
+		})
+	}
+}

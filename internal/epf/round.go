@@ -8,8 +8,9 @@ import (
 	"vodplace/internal/mip"
 )
 
-// integralTol is the tolerance below which a y value counts as integral.
-const integralTol = 1e-6
+// integralTol is the tolerance below which a y value counts as integral
+// (the shared stack-wide value; see the tolerance block in internal/mip).
+const integralTol = mip.IntegralTol
 
 // debugRound, when non-nil, receives solver snapshots at rounding phase
 // boundaries (test instrumentation only).

@@ -49,6 +49,7 @@ func probeFeasible(ctx context.Context, sc *Scenario, diskGB []float64, linkCapM
 	if err != nil {
 		return false
 	}
+	sc.Cfg.mustAudit(inst, res)
 	v := res.Violation
 	return v.Disk <= feasTolerance && v.Link <= feasTolerance && v.Unserved <= 1e-6
 }
@@ -144,6 +145,7 @@ func Fig12Compute(ctx context.Context, sc *Scenario, fractions []float64) (*Fig1
 		run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{
 			CacheFraction: cf,
 			Solver:        sc.Cfg.solver(),
+			Verify:        sc.Cfg.Verify,
 		})
 		if err != nil {
 			return nil, err
@@ -189,6 +191,7 @@ func probeLinkFeasible(ctx context.Context, sc *Scenario, diskGB []float64, link
 	if err != nil {
 		return false
 	}
+	sc.Cfg.mustAudit(inst, res)
 	v := res.Violation
 	return v.Link <= feasTolerance && v.Disk <= 0.08 && v.Unserved <= 1e-6
 }
@@ -451,6 +454,7 @@ func Table5Compute(ctx context.Context, cfg Config, windows []int64) ([]Table5Ro
 			if err != nil {
 				return false
 			}
+			sc.Cfg.mustAudit(inst, res)
 			v := res.Violation
 			return v.Disk <= feasTolerance && v.Link <= feasTolerance
 		}
@@ -474,6 +478,7 @@ func Table5Compute(ctx context.Context, cfg Config, windows []int64) ([]Table5Ro
 			WindowSec:     win,
 			CacheFraction: -1,
 			Solver:        sc.Cfg.solver(),
+			Verify:        sc.Cfg.Verify,
 		})
 		if err != nil {
 			return nil, err

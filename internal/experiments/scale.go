@@ -102,9 +102,11 @@ func Table3Compute(ctx context.Context, cfg Config, epfSizes, lpSizes []int) ([]
 					return nil, fmt.Errorf("table3: building %d-video instance: %w", videos, err)
 				}
 				elapsed, allocMB := measure(func() {
-					if _, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}); err != nil {
+					res, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+					if err != nil {
 						panic(err)
 					}
+					c.mustAudit(inst, res)
 				})
 				times = append(times, elapsed.Seconds())
 				allocs = append(allocs, allocMB)
@@ -125,9 +127,11 @@ func Table3Compute(ctx context.Context, cfg Config, epfSizes, lpSizes []int) ([]
 		}
 		// EPF on the identical instance, for the speedup column.
 		epfT, _ := measure(func() {
-			if _, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}); err != nil {
+			res, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+			if err != nil {
 				panic(err)
 			}
+			c.mustAudit(inst, res)
 		})
 		lpT, lpAlloc := measure(func() {
 			lp, _, err := simplex.BuildPlacementLP(inst)
@@ -214,6 +218,7 @@ func Table6Compute(ctx context.Context, cfg Config) ([]Table6Row, error) {
 	}
 	var rows []Table6Row
 	for _, v := range variants {
+		v.opts.Verify = sc.Cfg.Verify
 		run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, v.opts)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s: %w", v.name, err)
@@ -266,8 +271,14 @@ func RoundingCompute(ctx context.Context, cfg Config, sizes []int) ([]RoundingRo
 		if err != nil {
 			return nil, err
 		}
+		if err := c.audit(inst, frac); err != nil {
+			return nil, err
+		}
 		rounded, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
 		if err != nil {
+			return nil, err
+		}
+		if err := c.audit(inst, rounded); err != nil {
 			return nil, err
 		}
 		rows = append(rows, RoundingRow{

@@ -13,7 +13,9 @@ import (
 
 	"vodplace/internal/core"
 	"vodplace/internal/epf"
+	"vodplace/internal/mip"
 	"vodplace/internal/topology"
+	"vodplace/internal/verify"
 	"vodplace/internal/workload"
 
 	"vodplace/internal/catalog"
@@ -42,6 +44,9 @@ type Config struct {
 	MaxPasses int
 	// Quick shrinks everything for tests.
 	Quick bool
+	// Verify re-checks every solver result with the independent certificate
+	// auditor (internal/verify) and fails loudly on any violated claim.
+	Verify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +100,27 @@ func (c Config) withDefaults() Config {
 
 func (c Config) solver() epf.Options {
 	return epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}
+}
+
+// audit re-checks res against inst with the independent certificate auditor
+// when Verify is set, returning the auditor's error on any violated claim.
+func (c Config) audit(inst *mip.Instance, res *epf.Result) error {
+	if !c.Verify {
+		return nil
+	}
+	if rep := verify.Audit(inst, res); !rep.Ok() {
+		return rep.Err()
+	}
+	return nil
+}
+
+// mustAudit is audit for call sites without an error path (feasibility
+// probes, timing closures); a violated claim panics, which is the loud
+// failure -verify promises.
+func (c Config) mustAudit(inst *mip.Instance, res *epf.Result) {
+	if err := c.audit(inst, res); err != nil {
+		panic(err)
+	}
 }
 
 // Scenario is a fully materialized evaluation setup.

@@ -1,0 +1,150 @@
+package mip
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for Solution.Check and the tolerance constants it is
+// used with. Check itself reports raw violation magnitudes; the tolerance
+// policy (FeasTol, IntegralTol, SparseTol — documented in mip.go) is applied
+// by callers, so these tests pin both the raw values and how they interact
+// with the constants.
+
+func TestCheckEmptyPlacement(t *testing.T) {
+	inst := tinyInstance(t)
+	sol := NewSolution(inst)
+	v := sol.Check()
+	if v.Unserved != 1 {
+		t.Errorf("empty placement: Unserved = %g, want 1 (no demand row sums to 1)", v.Unserved)
+	}
+	if v.Disk != 0 || v.Link != 0 || v.XExceedsY != 0 {
+		t.Errorf("empty placement shows capacity violations: %+v", v)
+	}
+	if sol.Objective() != 0 {
+		t.Errorf("empty placement objective = %g, want 0", sol.Objective())
+	}
+	if !sol.IsIntegral(IntegralTol) {
+		t.Error("empty placement should count as integral")
+	}
+}
+
+func TestCheckEmptyPlacementZeroDemandVideo(t *testing.T) {
+	g := pathGraph3(t)
+	demands := []VideoDemand{{Video: 0, SizeGB: 1, RateMbps: 2, Conc: [][]float64{{}}}}
+	inst, err := NewInstance(g, []float64{4, 4, 4}, caps(g, 100), 1, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := NewSolution(inst)
+	if v := sol.Check(); v.Unserved != 1 {
+		t.Errorf("unplaced zero-demand video: Unserved = %g, want 1 (Σy ≥ 1 missing)", v.Unserved)
+	}
+	sol.Videos[0].Open = []Frac{{I: 1, V: 1}}
+	if v := sol.Check(); v.Max() != 0 {
+		t.Errorf("stored zero-demand video still violates: %+v", sol.Check())
+	}
+}
+
+// TestCheckFractionalTolerance drives x−y and Σx−1 just above and just below
+// FeasTol: Check must report the raw deviation exactly, so a caller
+// comparing against FeasTol accepts the sub-tolerance case and rejects the
+// super-tolerance one.
+func TestCheckFractionalTolerance(t *testing.T) {
+	inst := tinyInstance(t)
+	const above = 3 * FeasTol
+	const below = FeasTol / 2
+	for _, tc := range []struct {
+		name string
+		dev  float64
+	}{
+		{"above tolerance", above},
+		{"below tolerance", below},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol := NewSolution(inst)
+			// Serve both demand offices locally; office 0's x exceeds its y
+			// by dev, and office 2's assignment under-serves by dev.
+			sol.Videos[0].Open = []Frac{{I: 0, V: 1 - tc.dev}, {I: 2, V: 1}}
+			sol.Videos[0].Assign[0] = []Frac{{I: 0, V: 1}}
+			sol.Videos[0].Assign[1] = []Frac{{I: 2, V: 1 - tc.dev}}
+			v := sol.Check()
+			if math.Abs(v.XExceedsY-tc.dev) > 1e-15 {
+				t.Errorf("XExceedsY = %g, want %g", v.XExceedsY, tc.dev)
+			}
+			if math.Abs(v.Unserved-tc.dev) > 1e-15 {
+				t.Errorf("Unserved = %g, want %g", v.Unserved, tc.dev)
+			}
+			if pass := v.XExceedsY <= FeasTol; pass != (tc.dev < FeasTol) {
+				t.Errorf("FeasTol acceptance = %v for deviation %g", pass, tc.dev)
+			}
+		})
+	}
+}
+
+// TestIsIntegralTolerance: y within IntegralTol of 0 or 1 counts as
+// integral; anything further does not.
+func TestIsIntegralTolerance(t *testing.T) {
+	inst := tinyInstance(t)
+	sol := NewSolution(inst)
+	sol.Videos[0].Open = []Frac{{I: 0, V: 1 - IntegralTol/2}, {I: 2, V: IntegralTol / 2}}
+	if !sol.IsIntegral(IntegralTol) {
+		t.Error("y within IntegralTol of {0,1} should be integral")
+	}
+	sol.Videos[0].Open[0].V = 1 - 10*IntegralTol
+	if sol.IsIntegral(IntegralTol) {
+		t.Error("y ten tolerances away from 1 should not be integral")
+	}
+}
+
+// TestCheckZeroCapacityLink pins Check's behavior on hand-built instances
+// with a zero-capacity link, which NewInstance rejects but serialized or
+// synthetic instances can contain: an unused zero-capacity link is not a
+// violation (0/0 → NaN compares false against the running max), while any
+// flow across one reports +Inf.
+func TestCheckZeroCapacityLink(t *testing.T) {
+	g := pathGraph3(t)
+	demands := []VideoDemand{{
+		Video: 0, SizeGB: 1, RateMbps: 2,
+		Js: []int32{0}, Agg: []float64{5}, Conc: [][]float64{{2}},
+	}}
+	inst := &Instance{
+		G:           g,
+		DiskGB:      []float64{4, 4, 4},
+		LinkCapMbps: make([]float64, g.NumLinks()),
+		Slices:      1,
+		Demands:     demands,
+		Alpha:       1,
+	}
+	inst.cacheHops()
+
+	sol := NewSolution(inst)
+	// Local service: no link carries flow.
+	sol.Videos[0].Open = []Frac{{I: 0, V: 1}}
+	sol.Videos[0].Assign[0] = []Frac{{I: 0, V: 1}}
+	if v := sol.Check(); v.Link != 0 {
+		t.Errorf("unused zero-capacity links: Link = %g, want 0", v.Link)
+	}
+
+	// Remote service: flow crosses a zero-capacity link.
+	sol.Videos[0].Open = []Frac{{I: 2, V: 1}}
+	sol.Videos[0].Assign[0] = []Frac{{I: 2, V: 1}}
+	if v := sol.Check(); !math.IsInf(v.Link, 1) {
+		t.Errorf("flow across a zero-capacity link: Link = %g, want +Inf", v.Link)
+	}
+}
+
+// TestNewInstanceRejectsZeroCapacities documents that constructed instances
+// can never reach the zero-capacity edge cases above.
+func TestNewInstanceRejectsZeroCapacities(t *testing.T) {
+	g := pathGraph3(t)
+	demands := []VideoDemand{{Video: 0, SizeGB: 1, RateMbps: 2, Conc: [][]float64{{}}}}
+	if _, err := NewInstance(g, []float64{4, 0, 4}, caps(g, 100), 1, demands); err == nil {
+		t.Error("zero disk capacity accepted")
+	}
+	zero := caps(g, 100)
+	zero[0] = 0
+	if _, err := NewInstance(g, []float64{4, 4, 4}, zero, 1, demands); err == nil {
+		t.Error("zero link capacity accepted")
+	}
+}

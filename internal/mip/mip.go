@@ -15,6 +15,27 @@ import (
 	"vodplace/internal/topology"
 )
 
+// Tolerance constants shared across the solver stack. Every layer that asks
+// "is this integral / feasible / negligible" uses these values, collected
+// here so the answers agree between the solvers, the verification layer and
+// the tests.
+const (
+	// IntegralTol is the integrality tolerance: a y value within IntegralTol
+	// of 0 or 1 counts as integral (Solution.IsIntegral, the epf rounding
+	// pass's fractional-video detection).
+	IntegralTol = 1e-6
+	// FeasTol is the absolute slack allowed on the exact per-video
+	// constraints — request conservation Σ_i x_ij^m = 1 and availability
+	// x_ij^m ≤ y_i^m — which solvers maintain exactly up to floating-point
+	// error. Coupling (disk/link) rows are instead judged against the
+	// solver's configured ε band, not FeasTol.
+	FeasTol = 1e-6
+	// SparseTol is the magnitude below which a fractional entry is treated
+	// as zero when extracting or pruning sparse solutions (e.g. the simplex
+	// extraction path).
+	SparseTol = 1e-9
+)
+
 // VideoDemand is the demand side of one video m: the offices that request it,
 // the aggregate request counts a_j^m over the modeling period, and the
 // concurrent-stream counts f_j^m(t) for each enforced time slice t.

@@ -123,7 +123,7 @@ func BuildPlacementLP(inst *mip.Instance) (*LP, *VarMap, error) {
 
 // ExtractSolution converts an LP vector into a placement solution.
 func (vm *VarMap) ExtractSolution(x []float64) *mip.Solution {
-	const tolY = 1e-9
+	const tolY = mip.SparseTol
 	sol := mip.NewSolution(vm.inst)
 	for vi := range vm.inst.Demands {
 		d := &vm.inst.Demands[vi]

@@ -305,6 +305,11 @@ func Ebone() *Graph { return randomConnected("ebone", 23, 38, 2301) }
 // approximately density*n extra chords beyond a spanning tree.
 func Random(n int, density float64, seed int64) *Graph {
 	edges := n - 1 + int(float64(n)*density)
+	// A connected graph needs at least a spanning tree; negative or tiny
+	// densities (fuzzers pass arbitrary values) clamp to it.
+	if edges < n-1 {
+		edges = n - 1
+	}
 	if maxEdges := n * (n - 1) / 2; edges > maxEdges {
 		edges = maxEdges
 	}

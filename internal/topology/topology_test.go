@@ -235,3 +235,96 @@ func TestNewPanicsOnNonPositive(t *testing.T) {
 	}()
 	New("bad", 0)
 }
+
+// TestRandomTable pins the contract of the Random generator across the
+// parameter grid the verification harness and fuzzers exercise: the result
+// is always connected, deterministic for a fixed seed, and its edge count
+// and degrees stay within the advertised bounds (including the clamps for
+// negative density and for densities beyond the complete graph).
+func TestRandomTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		density float64
+		seed    int64
+	}{
+		{"tree only", 5, 0, 3},
+		{"sparse", 8, 0.5, 1},
+		{"dense", 8, 1.4, 2},
+		{"beyond complete", 4, 100, 4},
+		{"negative density clamps", 6, -3, 5},
+		{"two nodes", 2, 1, 6},
+		{"large sparse", 40, 0.3, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Random(tc.n, tc.density, tc.seed)
+			if !g.Built() {
+				t.Fatal("graph not built")
+			}
+			if g.NumNodes() != tc.n {
+				t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), tc.n)
+			}
+
+			// Connectivity: every ordered pair has a path of valid links.
+			for i := 0; i < tc.n; i++ {
+				for j := 0; j < tc.n; j++ {
+					if i == j {
+						continue
+					}
+					p := g.Path(i, j)
+					if len(p) == 0 {
+						t.Fatalf("no path %d→%d", i, j)
+					}
+					for _, l := range p {
+						if l < 0 || l >= g.NumLinks() {
+							t.Fatalf("path %d→%d uses invalid link %d", i, j, l)
+						}
+					}
+				}
+			}
+
+			// Edge-count bounds: at least a spanning tree, at most the
+			// requested chord budget and the complete graph.
+			minEdges := tc.n - 1
+			maxEdges := tc.n * (tc.n - 1) / 2
+			want := tc.n - 1 + int(float64(tc.n)*tc.density)
+			if want > maxEdges {
+				want = maxEdges
+			}
+			if want < minEdges {
+				want = minEdges
+			}
+			if e := g.NumEdges(); e < minEdges || e > maxEdges || e > want {
+				t.Errorf("NumEdges = %d, want within [%d, %d]", e, minEdges, want)
+			}
+
+			// Degree bounds: no self-loops, no vertex exceeds n-1 neighbors,
+			// no isolated vertex.
+			deg := make([]int, tc.n)
+			for _, lk := range g.Links() {
+				if lk.From == lk.To {
+					t.Fatalf("self-loop at %d", lk.From)
+				}
+				deg[lk.From]++
+			}
+			for v, d := range deg {
+				if d == 0 || d > tc.n-1 {
+					t.Errorf("degree[%d] = %d outside [1, %d]", v, d, tc.n-1)
+				}
+			}
+
+			// Determinism: the same (n, density, seed) yields the identical
+			// link list; a different seed is allowed to differ.
+			h := Random(tc.n, tc.density, tc.seed)
+			if len(h.Links()) != len(g.Links()) {
+				t.Fatalf("re-generation changed edge count: %d vs %d", len(h.Links()), len(g.Links()))
+			}
+			for l, lk := range g.Links() {
+				if h.Links()[l] != lk {
+					t.Fatalf("re-generation changed link %d: %+v vs %+v", l, lk, h.Links()[l])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"vodplace/internal/facloc"
+	"vodplace/internal/mip"
+)
+
+// CertifyLowerBound re-derives a provable lower bound on the placement LP
+// (and hence MIP) optimum from a coupling-row dual vector λ, laid out as
+// epf.Result.RowDuals documents: entries 0..n-1 price the disk rows, entry
+// n + t·L + l prices link l in slice t.
+//
+// The certificate is the Lagrangian bound LR(λ) = Σ_m LB_m(λ) − λ·b, where
+// LB_m is a valid lower bound on video m's block subproblem — an
+// uncapacitated facility location LP with open cost
+// F_i = λ_disk(i)·s^m + w·s^m·c(o_m,i) and assignment cost
+// g_ki = s^m·a_k·c(i,j_k) + Σ_t r^m·f_k(t)·Σ_{l∈P_ij} λ_link(l,t). The block
+// costs are built here from the instance data (not by the solver), and the
+// per-block bound is justified by a UFL dual vector v whose feasibility
+// Σ_k max(0, v_k − g_ki) ≤ F_i is verified arithmetically below — so the
+// bound's validity rests on that check, not on how v was produced (the
+// Erlenkotter ascent in internal/facloc proposes it).
+//
+// A second valid bound — the no-network bound Σ_m Σ_k β·s^m·a_k (every
+// request served locally) plus the cheapest placement-transfer term — is
+// re-derived independently and the maximum of the two is returned, so the
+// zero dual vector certifies a solver's initial bound too. Passing nil duals
+// certifies only the no-network bound.
+func CertifyLowerBound(inst *mip.Instance, rowDuals []float64) (float64, error) {
+	if inst == nil {
+		return 0, fmt.Errorf("nil instance")
+	}
+	n := inst.NumVHOs()
+	L := inst.G.NumLinks()
+	T := inst.Slices
+	trivial := noNetworkBound(inst)
+	if rowDuals == nil {
+		return trivial, nil
+	}
+	if len(rowDuals) != n+L*T {
+		return 0, fmt.Errorf("dual vector has %d entries for %d rows", len(rowDuals), n+L*T)
+	}
+	for r, v := range rowDuals {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, fmt.Errorf("dual %d is %g (must be finite and non-negative)", r, v)
+		}
+	}
+	linkDual := func(l, t int) float64 { return rowDuals[n+t*L+l] }
+
+	// Path-aggregated link prices, λ_path[t][i][j] = Σ_{l ∈ P_ij} λ_link(l,t).
+	pathDual := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		pathDual[t] = make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				var sum float64
+				for _, l := range inst.G.Path(i, j) {
+					sum += linkDual(l, t)
+				}
+				pathDual[t][i*n+j] = sum
+			}
+		}
+	}
+
+	var fs facloc.Solver
+	prob := facloc.Problem{Open: make([]float64, n)}
+	var lr float64
+	for vi := range inst.Demands {
+		d := &inst.Demands[vi]
+		for i := 0; i < n; i++ {
+			prob.Open[i] = rowDuals[i]*d.SizeGB + inst.PlacementCost(vi, i)
+		}
+		K := len(d.Js)
+		if K == 0 {
+			// The block minimum is opening the cheapest single facility.
+			minF := math.Inf(1)
+			for _, f := range prob.Open {
+				if f < minF {
+					minF = f
+				}
+			}
+			lr += minF
+			continue
+		}
+		for len(prob.Assign) < K {
+			prob.Assign = append(prob.Assign, make([]float64, n))
+		}
+		prob.Assign = prob.Assign[:K]
+		for k := 0; k < K; k++ {
+			j := int(d.Js[k])
+			coef := d.SizeGB * d.Agg[k]
+			row := prob.Assign[k]
+			for i := 0; i < n; i++ {
+				c := coef * inst.Cost(i, j)
+				for t := 0; t < T; t++ {
+					if f := d.Conc[t][k]; f != 0 {
+						c += d.RateMbps * f * pathDual[t][i*n+j]
+					}
+				}
+				row[i] = c
+			}
+		}
+		bound, err := checkedBlockBound(&fs, &prob)
+		if err != nil {
+			return 0, fmt.Errorf("video %d: %w", d.Video, err)
+		}
+		lr += bound
+	}
+	for i := 0; i < n; i++ {
+		lr -= rowDuals[i] * inst.DiskGB[i]
+	}
+	for t := 0; t < T; t++ {
+		for l := 0; l < L; l++ {
+			lr -= linkDual(l, t) * inst.LinkCapMbps[l]
+		}
+	}
+	if math.IsNaN(lr) {
+		return 0, fmt.Errorf("certified bound is NaN")
+	}
+	return math.Max(lr, trivial), nil
+}
+
+// checkedBlockBound obtains a UFL dual vector for prob and verifies its
+// feasibility before summing it: Σ_k max(0, v_k − g_ki) ≤ F_i must hold for
+// every facility (up to floating-point slack proportional to the magnitudes
+// involved). An infeasible proposal is a certificate failure.
+func checkedBlockBound(fs *facloc.Solver, prob *facloc.Problem) (float64, error) {
+	_, v := fs.DualAscent(prob)
+	if len(v) != len(prob.Assign) {
+		return 0, fmt.Errorf("dual ascent returned %d duals for %d demands", len(v), len(prob.Assign))
+	}
+	var bound float64
+	for _, vk := range v {
+		bound += vk
+	}
+	for i, F := range prob.Open {
+		var load, scale float64
+		for k, row := range prob.Assign {
+			if ex := v[k] - row[i]; ex > 0 {
+				load += ex
+			}
+			if a := math.Abs(v[k]); a > scale {
+				scale = a
+			}
+		}
+		if F > scale {
+			scale = F
+		}
+		if load > F+CertTol*(1+scale) {
+			return 0, fmt.Errorf("block dual infeasible at facility %d: load %g > open cost %g", i, load, F)
+		}
+	}
+	return bound, nil
+}
+
+// noNetworkBound re-derives the trivial lower bound: every request served at
+// cost β (zero hops), plus — under the update objective — the cheapest
+// placement-transfer cost per video. This is the Lagrangian value at λ = 0
+// in closed form, computed without the solver's LowerBoundNoNetwork.
+func noNetworkBound(inst *mip.Instance) float64 {
+	var total float64
+	for vi := range inst.Demands {
+		d := &inst.Demands[vi]
+		for _, a := range d.Agg {
+			total += inst.Beta * d.SizeGB * a
+		}
+		if inst.UpdateWeight != 0 {
+			best := math.Inf(1)
+			for i := 0; i < inst.NumVHOs(); i++ {
+				if c := inst.PlacementCost(vi, i); c < best {
+					best = c
+				}
+			}
+			total += best
+		}
+	}
+	return total
+}

@@ -1,0 +1,90 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDifferentialHarness is the acceptance sweep: 50 seeded random
+// instances cross-checked between the exact simplex and the EPF solver
+// (plus integer rounding), every result audited, and 50 UFL problems crossed
+// against brute force.
+func TestDifferentialHarness(t *testing.T) {
+	start := time.Now()
+	rep, err := Differential(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instances != 50 || rep.UFLs != 50 {
+		t.Fatalf("incomplete sweep: %d instances, %d UFLs", rep.Instances, rep.UFLs)
+	}
+	if !rep.Ok() {
+		t.Fatalf("differential failures:\n%v", rep.Failures)
+	}
+	t.Logf("%s (%.1fs)", rep, time.Since(start).Seconds())
+}
+
+// TestDifferentialDeterministic: the harness must produce bit-identical
+// aggregates for a fixed seed — the property that makes failures
+// reproducible from the one-line report.
+func TestDifferentialDeterministic(t *testing.T) {
+	opts := Options{Instances: 3, UFLs: 5, Seed: 7}
+	a, err := Differential(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Differential(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two runs differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestDifferentialCancellation mirrors the repository's SolveContext
+// contract: cancelling mid-sweep returns the partial report with ctx.Err().
+func TestDifferentialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 2
+	rep, err := Differential(ctx, Options{
+		Instances: 50,
+		UFLs:      50,
+		OnInstance: func(i int) {
+			if i+1 == stopAfter {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled sweep returned no partial report")
+	}
+	if rep.Instances != stopAfter {
+		t.Errorf("partial report has %d instances, want %d", rep.Instances, stopAfter)
+	}
+	if rep.UFLs != 0 {
+		t.Errorf("UFL sweep ran after cancellation: %d", rep.UFLs)
+	}
+	if !rep.Ok() {
+		t.Errorf("partial results should be clean: %v", rep.Failures)
+	}
+}
+
+// TestDifferentialAlreadyCancelled: a pre-cancelled context does no work.
+func TestDifferentialAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Differential(ctx, Options{Instances: 10})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Instances != 0 || rep.UFLs != 0 {
+		t.Errorf("work ran under a cancelled context: %+v", rep)
+	}
+}
