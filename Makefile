@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzNewInstance FuzzEPFSolve FuzzFacloc
 
-.PHONY: build vet test race check bench fuzz cover fmt
+.PHONY: build vet test race check bench bench-json fuzz cover fmt
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ check: build vet race
 # alongside the benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Refresh the committed EPF hot-path benchmark record. The old file's
+# numbers roll over into the new record's "baseline" section, so after an
+# optimization BENCH_epf.json answers "what did this change buy" per
+# benchmark. -count 3 with best-of selection suppresses scheduler noise.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/epf/ \
+		| $(GO) run ./tools/benchjson -baseline BENCH_epf.json > BENCH_epf.json.tmp
+	mv BENCH_epf.json.tmp BENCH_epf.json
 
 # go test accepts a single -fuzz pattern per invocation, so budgeted runs
 # loop over the targets explicitly.

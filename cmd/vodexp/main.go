@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"vodplace/internal/experiments"
+	"vodplace/internal/prof"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		doAud  = flag.Bool("verify", false, "re-check every solver result with the independent certificate auditor")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -47,6 +49,17 @@ func main() {
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "vodexp: -exp required (or -list); see -h")
 		os.Exit(2)
+	}
+	profStop, err := prof.Start(profFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := profStop(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
+		}
+		os.Exit(code)
 	}
 	cfg := experiments.Config{
 		Videos:                 *videos,
@@ -67,17 +80,21 @@ func main() {
 	if *exp == "all" {
 		if err := experiments.RunAll(ctx, os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	r, ok := experiments.Lookup(*exp)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "vodexp: unknown experiment %q; use -list\n", *exp)
-		os.Exit(2)
+		exit(2)
 	}
 	fmt.Printf("==== %s: %s ====\n", r.ID, r.Title)
 	if err := r.Run(ctx, os.Stdout, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
+		exit(1)
+	}
+	if err := profStop(); err != nil {
 		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
 		os.Exit(1)
 	}

@@ -24,6 +24,7 @@ import (
 	"vodplace/internal/core"
 	"vodplace/internal/demand"
 	"vodplace/internal/epf"
+	"vodplace/internal/prof"
 	"vodplace/internal/topology"
 	"vodplace/internal/verify"
 	"vodplace/internal/workload"
@@ -43,7 +44,20 @@ func main() {
 		verbose = flag.Bool("v", false, "per-pass solver progress")
 		doAudit = flag.Bool("verify", false, "re-check the solution with the independent certificate auditor")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	profStop, err := prof.Start(profFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := profStop(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+		}
+		os.Exit(code)
+	}
 
 	var g *topology.Graph
 	if *vhos == 55 {
@@ -65,7 +79,7 @@ func main() {
 	inst, err := builder.Instance(tr, 7)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("instance: %d offices, %d links, %d videos, %d time slices\n",
 		inst.NumVHOs(), g.NumLinks(), inst.NumVideos(), inst.Slices)
@@ -87,7 +101,7 @@ func main() {
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	elapsed := time.Since(start)
 
@@ -141,7 +155,11 @@ func main() {
 		fmt.Printf("\nverify: %s\n", rep)
 		if err := rep.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
+	}
+	if err := profStop(); err != nil {
+		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,73 @@
+package epf
+
+import (
+	"context"
+	"testing"
+)
+
+// The performance architecture's allocation contract (DESIGN.md §8): once a
+// solve is warmed up — per-worker scratch live, merge-row and chunk-result
+// capacities grown to their steady state — a full gradient-descent pass
+// allocates nothing. Every buffer a pass touches is created or
+// capacity-bounded in newSolver/initRun, so a regression here means a hot
+// kernel started allocating again (a closure escaping, a slice growing per
+// call) and shows up long before it is visible in wall-clock benchmarks.
+func TestDescentPassZeroAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	inst := randomInstance(t, 11, 10, 90, 2.0, 150)
+	s, err := newSolver(inst, Options{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	s.ctx = context.Background()
+	s.initDescent()
+	// Warm-up: sparse row capacities (mergeFracs copies, chunk solutions)
+	// grow during early passes and then stabilize. Workers=1 keeps the pass
+	// fully deterministic, so the measurement is exact, not flaky.
+	for i := 0; i < 6; i++ {
+		if !s.descentPass() {
+			t.Fatal("warm-up pass cancelled")
+		}
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if !s.descentPass() {
+			t.Fatal("measured pass cancelled")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state descent pass allocates %g times per pass, want 0", allocs)
+	}
+}
+
+// The same contract for the incremental-pricing fast path: the delta-update
+// machinery (qPrev snapshot, reverse-incidence scatter, Newton line search,
+// warm-start open sets) must also run allocation-free once warm.
+func TestDescentPassZeroAllocationsIncremental(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	inst := randomInstance(t, 11, 10, 90, 2.0, 150)
+	s, err := newSolver(inst, Options{Seed: 3, Workers: 1, IncrementalPricing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	s.ctx = context.Background()
+	s.initDescent()
+	for i := 0; i < 6; i++ {
+		if !s.descentPass() {
+			t.Fatal("warm-up pass cancelled")
+		}
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if !s.descentPass() {
+			t.Fatal("measured pass cancelled")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state incremental-pricing pass allocates %g times per pass, want 0", allocs)
+	}
+}

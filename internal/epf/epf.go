@@ -26,6 +26,12 @@
 //
 // Integer rounding (§V-D) is implemented in round.go in this package, since
 // it reuses the live potential state.
+//
+// The hot kernels run on flat structures: the topology's CSR path table,
+// the instance's dense j-major cost matrix and per-demand sparse slice
+// lists, and a (t,j)-major path-dual transpose, so block pricing walks
+// contiguous memory. See DESIGN.md §8 for the layout and the determinism
+// constraints the kernels honor.
 package epf
 
 import (
@@ -34,7 +40,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"time"
 
 	"vodplace/internal/facloc"
@@ -68,6 +73,16 @@ type Options struct {
 	// re-shuffling cuts pass counts by a large factor; never set it in
 	// production use.
 	NoShuffle bool
+	// IncrementalPricing enables the opt-in fast-pricing mode: path duals
+	// are delta-updated from the links whose prices actually moved (with a
+	// periodic full rebuild to bound drift), the line search switches to a
+	// safeguarded Newton iteration, and block facility-location solves warm
+	// start from the video's previous solution. These change floating-point
+	// trajectories, so the mode is off by default — the default solve is
+	// bit-identical across releases (CLI goldens pin it). Results remain
+	// deterministic at any worker count either way; only the default mode's
+	// exact output bytes are pinned.
+	IncrementalPricing bool
 	// OnPass, when non-nil, is invoked after every pass with progress
 	// information (used by the CLI tools for -v output).
 	OnPass func(PassInfo)
@@ -165,10 +180,34 @@ type intSol struct {
 type workerScratch struct {
 	fs   facloc.Solver
 	prob facloc.Problem
+	fsol facloc.Solution // block solution buffer, reused per solve
+	used []bool          // toIntSolInto scratch, len n
 
 	blocks   int64 // descent-loop block solves
 	lbBlocks int64 // bound-evaluation block solves
 }
+
+// Exponent caps. Both clamp arguments to math.Exp well below the overflow
+// threshold (exp(709) ≈ MaxFloat64), but they are deliberately different:
+//
+//   - dualExpCap bounds the *price ratio* between a coupling row and the
+//     objective row when duals are materialized (computeDuals,
+//     refreshDiskDuals). Prices are multiplied by B/b_r, summed over paths
+//     and fed into facility-location costs, so the tighter cap keeps block
+//     costs comfortably inside the float64 range even after those
+//     amplifications; exp(300) ≈ 2e130 headroom below maxDual.
+//
+//   - lineExpCap bounds potential-derivative terms (expClamp, used by the
+//     line search and the rounding criteria), where only the sign and the
+//     relative magnitude of a sum matter and no further amplification
+//     happens; the looser cap preserves ordering information deeper into
+//     the saturated regime.
+//
+// Tests reference these constants rather than repeating the numbers.
+const (
+	dualExpCap = 300
+	lineExpCap = 500
+)
 
 type solver struct {
 	inst *mip.Instance
@@ -210,8 +249,9 @@ type solver struct {
 	// block order on the driver goroutine — the worker count never changes
 	// the floating-point summation grouping, keeping results bit-identical
 	// at any parallelism.
-	lbBuf  []float64 // per-block dual-ascent bounds
-	lbSols []intSol  // per-block minimizers (subgradient evaluations only)
+	lbBuf   []float64 // per-block dual-ascent bounds
+	lbSols  []intSol  // per-block minimizers (subgradient evaluations only)
+	gradBuf []float64 // subgradient scratch (len rows)
 
 	rng *rand.Rand
 
@@ -219,13 +259,50 @@ type solver struct {
 	acc     []float64
 	touched []int32
 	yBuf    []float64
+	// line-search gather arrays: the touched rows' deltas, activities,
+	// capacities and precomputed delta/b coefficients, packed contiguously
+	// so every derivative evaluation is one linear sweep.
+	lsDelta, lsAct, lsB, lsDB []float64
+
 	// frozen duals scratch (rebuilt per chunk)
-	q        []float64
-	pathDual [][]float64 // [t][i*n+j]
+	q []float64
+	// pathDualT is the path-aggregated link price table in (t,j)-major
+	// layout: pathDualT[(t*n+j)*n + i] = Σ_{l ∈ P_ij} q[link(l,t)]. Block
+	// pricing fixes (t, j) and walks i, so the transpose keeps that scan
+	// contiguous (the natural [t][i*n+j] layout strides by n).
+	pathDualT []float64
+	costT     []float64 // dense j-major cost table from the instance
+
+	// Incremental pricing state (IncrementalPricing mode only).
+	qPrev   []float64 // link-row duals the current pathDualT was built from
+	pdInit  bool
+	pdSince int // delta refreshes since the last full rebuild
+
+	// run-loop state, fields so a steady-state pass allocates nothing
+	gammaLnM1 float64
+	perm      []int
+	chunk     []int
+	chunkSols []intSol
+	chunkFn   func(w, lo, hi int)
+	swapFn    func(a, b int)
+	dcHist    []float64
+	mergeBuf  []mip.Frac // mergeFracs staging buffer
+	warmOpen  [][]int32  // per-video previous block open set (warm starts)
 }
 
 func (s *solver) rowDisk(i int) int    { return i }
 func (s *solver) rowLink(l, t int) int { return s.n + t*s.L + l }
+
+// Incremental-pricing tuning. A link row participates in a delta update
+// only when its dual moved by more than pdRelTol relatively; unchanged rows
+// keep their (within-tolerance) stale contribution. pdRebuildEvery bounds
+// the accumulated drift with a periodic exact rebuild, and a refresh where
+// more than a quarter of the link rows moved falls back to a full rebuild —
+// at that density the scattered delta writes cost more than the rebuild.
+const (
+	pdRelTol       = 1e-9
+	pdRebuildEvery = 16
+)
 
 // Solve runs the EPF LP solver on inst and returns the fractional result.
 func Solve(inst *mip.Instance, opts Options) (*Result, error) {
@@ -293,7 +370,12 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	s.acc = make([]float64, s.rows)
 	s.touched = make([]int32, 0, s.rows)
 	s.yBuf = make([]float64, s.n)
+	s.lsDelta = make([]float64, s.rows)
+	s.lsAct = make([]float64, s.rows)
+	s.lsB = make([]float64, s.rows)
+	s.lsDB = make([]float64, s.rows)
 	s.q = make([]float64, s.rows)
+	s.mergeBuf = make([]mip.Frac, 0, s.n+1)
 	s.qBar = make([]float64, s.rows)
 	s.qTmp = make([]float64, s.rows)
 	// The initial bound (LowerBoundNoNetwork) is the Lagrangian value at
@@ -311,9 +393,12 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 		}
 		s.opts.ChunkSize = cs
 	}
-	s.pathDual = make([][]float64, s.T)
-	for t := range s.pathDual {
-		s.pathDual[t] = make([]float64, s.n*s.n)
+	s.pathDualT = make([]float64, s.T*s.n*s.n)
+	// The dense cost table is (re)validated against (Alpha, Beta) here, on
+	// the driver goroutine, before any fan-out reads it.
+	s.costT = inst.CostColumns()
+	if s.opts.IncrementalPricing {
+		s.qPrev = make([]float64, s.rows)
 	}
 	s.ctx = context.Background()
 	s.pool = par.New(o.Workers)
@@ -382,29 +467,33 @@ func (s *solver) recomputeState() {
 }
 
 // addBlockRows adds (sign=+1) or removes (sign=-1) block vi's contribution
-// to the coupling-row activities.
+// to the coupling-row activities. Only the nonzero time slices of each
+// demand (the instance's sparse concurrency lists) are visited, and link
+// rows are addressed through the CSR path table.
 func (s *solver) addBlockRows(vi int, bs *blockSol, sign float64) {
 	d := &s.inst.Demands[vi]
 	for _, f := range bs.open {
-		s.act[s.rowDisk(int(f.I))] += sign * d.SizeGB * f.V
+		s.act[int(f.I)] += sign * d.SizeGB * f.V
 	}
 	if s.T == 0 {
 		return
 	}
 	for k, fr := range bs.assign {
 		j := int(d.Js[k])
+		ts, fv := d.ConcNZ(k)
+		if len(ts) == 0 {
+			continue
+		}
 		for _, f := range fr {
 			if int(f.I) == j || f.V == 0 {
 				continue
 			}
 			path := s.inst.G.Path(int(f.I), j)
-			for t := 0; t < s.T; t++ {
-				flow := sign * d.RateMbps * d.Conc[t][k] * f.V
-				if flow == 0 {
-					continue
-				}
+			for x, t := range ts {
+				flow := sign * d.RateMbps * fv[x] * f.V
+				base := s.n + int(t)*s.L
 				for _, l := range path {
-					s.act[s.rowLink(l, t)] += flow
+					s.act[base+int(l)] += flow
 				}
 			}
 		}
@@ -414,12 +503,13 @@ func (s *solver) addBlockRows(vi int, bs *blockSol, sign float64) {
 // blockCost returns block vi's objective contribution.
 func (s *solver) blockCost(vi int, bs *blockSol) float64 {
 	d := &s.inst.Demands[vi]
+	n := s.n
 	var c float64
 	for k, fr := range bs.assign {
-		j := int(d.Js[k])
+		col := s.costT[int(d.Js[k])*n : (int(d.Js[k])+1)*n]
 		coef := d.SizeGB * d.Agg[k]
 		for _, f := range fr {
-			c += coef * s.inst.Cost(int(f.I), j) * f.V
+			c += coef * col[f.I] * f.V
 		}
 	}
 	if s.inst.UpdateWeight != 0 {
@@ -443,10 +533,10 @@ func (s *solver) maxCouplingViol() (float64, float64) {
 }
 
 func expClamp(x float64) float64 {
-	if x > 500 {
-		x = 500
+	if x > lineExpCap {
+		x = lineExpCap
 	}
-	if x < -500 {
+	if x < -lineExpCap {
 		return 0
 	}
 	return math.Exp(x)
@@ -462,11 +552,11 @@ func (s *solver) computeDuals(q []float64) {
 	for r := 0; r < s.rows; r++ {
 		rr := s.act[r]/s.b[r] - 1
 		e := s.alpha * (rr - r0)
-		if e > 300 {
+		if e > dualExpCap {
 			// A row this much hotter than the objective row is effectively
 			// infinitely priced; cap to keep block costs finite. Any finite
 			// non-negative dual vector still yields a valid Lagrangian bound.
-			e = 300
+			e = dualExpCap
 		}
 		q[r] = clampDual(s.bObj / s.b[r] * math.Exp(e))
 	}
@@ -495,38 +585,120 @@ func (s *solver) refreshDiskDuals(q []float64) {
 		r := s.rowDisk(i)
 		rr := s.act[r]/s.b[r] - 1
 		e := s.alpha * (rr - r0)
-		if e > 300 {
-			e = 300
+		if e > dualExpCap {
+			e = dualExpCap
 		}
 		q[r] = clampDual(s.bObj / s.b[r] * math.Exp(e))
 	}
 }
 
-// computePathDuals aggregates q over the fixed paths:
-// pathDual[t][i*n+j] = Σ_{l ∈ P_ij} q[link(l,t)].
+// computePathDuals brings pathDualT in sync with q:
+// pathDualT[(t*n+j)*n+i] = Σ_{l ∈ P_ij} q[link(l,t)].
+//
+// In the default mode every refresh is a full rebuild, byte-identical to
+// summing along each path. In IncrementalPricing mode only the link rows
+// whose dual moved beyond pdRelTol push their delta into the affected
+// (i,j) pairs via the topology's reverse incidence lists, with a periodic
+// full rebuild bounding the drift.
 func (s *solver) computePathDuals(q []float64) {
+	if s.T == 0 {
+		return
+	}
+	if !s.opts.IncrementalPricing {
+		s.rebuildPathDuals(q)
+		return
+	}
+	if !s.pdInit || s.pdSince >= pdRebuildEvery {
+		s.syncPathDuals(q)
+		return
+	}
+	// First sweep: count moved link rows; a dense refresh rebuilds instead.
+	moved := 0
 	for t := 0; t < s.T; t++ {
-		pd := s.pathDual[t]
-		for i := 0; i < s.n; i++ {
-			for j := 0; j < s.n; j++ {
+		base := s.n + t*s.L
+		for l := 0; l < s.L; l++ {
+			r := base + l
+			if dualMoved(q[r], s.qPrev[r]) {
+				moved++
+			}
+		}
+	}
+	if moved*4 > s.L*s.T {
+		s.syncPathDuals(q)
+		return
+	}
+	n := s.n
+	for t := 0; t < s.T; t++ {
+		base := s.n + t*s.L
+		tn := t * n
+		for l := 0; l < s.L; l++ {
+			r := base + l
+			if !dualMoved(q[r], s.qPrev[r]) {
+				continue
+			}
+			dq := q[r] - s.qPrev[r]
+			for _, p := range s.inst.G.LinkPairs(l) {
+				i, j := int(p)/n, int(p)%n
+				s.pathDualT[(tn+j)*n+i] += dq
+			}
+			s.qPrev[r] = q[r]
+		}
+	}
+	s.pdSince++
+}
+
+// dualMoved reports whether a link dual changed beyond the relative
+// incremental-pricing tolerance.
+func dualMoved(now, prev float64) bool {
+	d := now - prev
+	if d < 0 {
+		d = -d
+	}
+	ref := prev
+	if ref < 0 {
+		ref = -ref
+	}
+	return d > pdRelTol*ref
+}
+
+// syncPathDuals performs a full rebuild and records q as the new baseline.
+func (s *solver) syncPathDuals(q []float64) {
+	s.rebuildPathDuals(q)
+	copy(s.qPrev, q)
+	s.pdInit = true
+	s.pdSince = 0
+}
+
+// rebuildPathDuals recomputes every pathDualT entry from scratch, summing
+// q along each CSR path in link order.
+func (s *solver) rebuildPathDuals(q []float64) {
+	n := s.n
+	links, off := s.inst.G.PathCSR()
+	for t := 0; t < s.T; t++ {
+		base := s.n + t*s.L
+		tn := t * n
+		for i := 0; i < n; i++ {
+			in := i * n
+			for j := 0; j < n; j++ {
 				if i == j {
-					pd[i*s.n+j] = 0
+					s.pathDualT[(tn+j)*n+i] = 0
 					continue
 				}
 				var sum float64
-				for _, l := range s.inst.G.Path(i, j) {
-					sum += q[s.rowLink(l, t)]
+				for _, l := range links[off[in+j]:off[in+j+1]] {
+					sum += q[base+int(l)]
 				}
-				pd[i*s.n+j] = sum
+				s.pathDualT[(tn+j)*n+i] = sum
 			}
 		}
 	}
 }
 
 // buildBlockProblem fills prob with video vi's facility-location block under
-// the frozen duals (q via pathDual). Open cost: disk dual price plus any
+// the frozen duals (q via pathDualT). Open cost: disk dual price plus any
 // placement-transfer cost; assignment cost: transfer objective plus link
-// dual prices along the path.
+// dual prices along the path. All scans are over flat arrays: the j-th cost
+// column, the demand's nonzero slices, and the (t,j) path-dual column.
 func (s *solver) buildBlockProblem(vi int, q []float64, prob *facloc.Problem) {
 	d := &s.inst.Demands[vi]
 	n := s.n
@@ -535,44 +707,124 @@ func (s *solver) buildBlockProblem(vi int, q []float64, prob *facloc.Problem) {
 	}
 	prob.Open = prob.Open[:n]
 	for i := 0; i < n; i++ {
-		prob.Open[i] = q[s.rowDisk(i)]*d.SizeGB + s.inst.PlacementCost(vi, i)
+		prob.Open[i] = q[i]*d.SizeGB + s.inst.PlacementCost(vi, i)
 	}
 	K := len(d.Js)
-	if cap(prob.Assign) < K {
-		prob.Assign = make([][]float64, K)
-	}
-	prob.Assign = prob.Assign[:K]
+	prob.Reshape(K)
 	for k := 0; k < K; k++ {
-		if cap(prob.Assign[k]) < n {
-			prob.Assign[k] = make([]float64, n)
-		}
-		row := prob.Assign[k][:n]
-		prob.Assign[k] = row
 		j := int(d.Js[k])
 		coef := d.SizeGB * d.Agg[k]
+		row := prob.Assign[k*n : k*n+n]
+		col := s.costT[j*n : j*n+n]
 		for i := 0; i < n; i++ {
-			c := coef * s.inst.Cost(i, j)
-			for t := 0; t < s.T; t++ {
-				f := d.Conc[t][k]
-				if f != 0 {
-					c += d.RateMbps * f * s.pathDual[t][i*s.n+j]
-				}
+			row[i] = coef * col[i]
+		}
+		ts, fv := d.ConcNZ(k)
+		for x, t := range ts {
+			w := d.RateMbps * fv[x]
+			pd := s.pathDualT[(int(t)*n+j)*n : (int(t)*n+j)*n+n]
+			for i := 0; i < n; i++ {
+				row[i] += w * pd[i]
 			}
-			row[i] = c
 		}
 	}
 }
 
-// run executes Algorithm 1's main loop and returns the fractional result.
-// ctx is observed at chunk boundaries: on cancellation the loop stops
-// before the next fan-out and the current point is returned as-is.
-func (s *solver) run(ctx context.Context) *Result {
-	s.ctx = ctx
-	lpStart := time.Now()
-	o := s.opts
-	m := float64(s.rows)
-	lnM1 := math.Log(m + 1)
+// initRun prepares the per-run state (pass permutation, chunk buffers, the
+// chunk fan-out closure) so that a steady-state descent pass performs no
+// allocations: every buffer it touches is created or capacity-bounded here.
+func (s *solver) initRun() {
+	o := &s.opts
+	numBlocks := len(s.sol)
+	s.gammaLnM1 = o.Gamma * math.Log(float64(s.rows)+1)
+	s.perm = make([]int, numBlocks)
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	s.swapFn = func(a, b int) { s.perm[a], s.perm[b] = s.perm[b], s.perm[a] }
+	s.chunkSols = make([]intSol, o.ChunkSize)
+	for c := range s.chunkSols {
+		s.chunkSols[c].open = make([]int32, 0, s.n)
+		s.chunkSols[c].assign = make([]int32, 0, s.n)
+	}
+	s.dcHist = make([]float64, 0, o.MaxPasses+1)
+	if o.IncrementalPricing {
+		s.warmOpen = make([][]int32, numBlocks)
+	}
+	// The fan-out body is created once; per-chunk state flows through
+	// solver fields (s.chunk, s.chunkSols) so no closure is allocated on
+	// the hot path. chunkSols is index-addressed and applied sequentially
+	// by the caller, so the worker partition never affects numerics.
+	s.chunkFn = func(w, wlo, whi int) {
+		ws := s.scratch.Get(w)
+		if ws.used == nil {
+			ws.used = make([]bool, s.n)
+		}
+		for c := wlo; c < whi; c++ {
+			vi := s.chunk[c]
+			s.buildBlockProblem(vi, s.q, &ws.prob)
+			var warm []int32
+			if s.warmOpen != nil {
+				warm = s.warmOpen[vi]
+			}
+			ws.fs.SolveQuickInto(&ws.prob, &ws.fsol, warm)
+			toIntSolInto(&ws.fsol, &s.inst.Demands[vi], ws.used, &s.chunkSols[c])
+			if s.warmOpen != nil {
+				s.warmOpen[vi] = append(s.warmOpen[vi][:0], s.chunkSols[c].open...)
+			}
+		}
+		ws.blocks += int64(whi - wlo)
+	}
+}
 
+// descentPass runs one full gradient-descent pass (shuffle, chunked block
+// optimization, sequential application with line search, scale shrink).
+// Returns false when the context was cancelled mid-pass. Steady-state
+// passes allocate nothing; see initRun.
+func (s *solver) descentPass() bool {
+	o := &s.opts
+	numBlocks := len(s.sol)
+	if !o.NoShuffle {
+		s.rng.Shuffle(numBlocks, s.swapFn)
+	}
+	for lo := 0; lo < numBlocks; lo += o.ChunkSize {
+		hi := lo + o.ChunkSize
+		if hi > numBlocks {
+			hi = numBlocks
+		}
+		// Freeze duals for the chunk.
+		s.computeDuals(s.q)
+		s.computePathDuals(s.q)
+
+		// Parallel block optimization on the shared pool.
+		s.chunk = s.perm[lo:hi]
+		if err := s.pool.Run(s.ctx, len(s.chunk), s.chunkFn); err != nil {
+			return false // cancelled before dispatch; chunkSols is stale
+		}
+
+		// Sequential application with line search.
+		for c, vi := range s.chunk {
+			s.applyBlock(vi, &s.chunkSols[c])
+		}
+		if s.ctx.Err() != nil {
+			return false
+		}
+
+		// Step 11: shrink the scale when the point got less infeasible.
+		dc, r0 := s.maxCouplingViol()
+		dz := math.Max(math.Max(dc, r0), o.Epsilon/2)
+		if dz < s.delta {
+			s.delta = dz
+			s.alpha = s.gammaLnM1 / s.delta
+		}
+	}
+	return true
+}
+
+// initDescent sets the initial bound, objective target, per-run buffers and
+// penalty scale. Split from run so the allocation-regression test can
+// prepare a solver and then measure descentPass in isolation.
+func (s *solver) initDescent() {
 	// Initial lower bound: the no-capacity-pressure bound (every request
 	// served at cost β). With β = 0 this is 0, so floor the objective
 	// target to keep r_0 well defined.
@@ -582,68 +834,27 @@ func (s *solver) run(ctx context.Context) *Result {
 	s.bFloor = math.Max(1e-9, 1e-3*s.obj)
 	s.retargetB()
 
+	s.initRun()
 	dc, r0 := s.maxCouplingViol()
-	s.delta = math.Max(math.Max(dc, r0), o.Epsilon/2)
-	s.alpha = o.Gamma * lnM1 / s.delta
+	s.delta = math.Max(math.Max(dc, r0), s.opts.Epsilon/2)
+	s.alpha = s.gammaLnM1 / s.delta
+}
 
-	numBlocks := len(s.sol)
-	perm := make([]int, numBlocks)
-	for i := range perm {
-		perm[i] = i
-	}
+// run executes Algorithm 1's main loop and returns the fractional result.
+// ctx is observed at chunk boundaries: on cancellation the loop stops
+// before the next fan-out and the current point is returned as-is.
+func (s *solver) run(ctx context.Context) *Result {
+	s.ctx = ctx
+	lpStart := time.Now()
+	o := s.opts
+	s.initDescent()
 
-	chunkSols := make([]intSol, o.ChunkSize)
 	var res *Result
-
 	pass := 0
-	var dcHist []float64
 passes:
 	for pass = 1; pass <= o.MaxPasses; pass++ {
-		if !o.NoShuffle {
-			s.rng.Shuffle(numBlocks, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
-		}
-
-		for lo := 0; lo < numBlocks; lo += o.ChunkSize {
-			hi := lo + o.ChunkSize
-			if hi > numBlocks {
-				hi = numBlocks
-			}
-			// Freeze duals for the chunk.
-			s.computeDuals(s.q)
-			s.computePathDuals(s.q)
-
-			// Parallel block optimization on the shared pool. chunkSols is
-			// index-addressed and applied sequentially below, so the worker
-			// partition never affects the numeric outcome.
-			chunk := perm[lo:hi]
-			if err := s.pool.Run(s.ctx, len(chunk), func(w, wlo, whi int) {
-				ws := s.scratch.Get(w)
-				for c := wlo; c < whi; c++ {
-					vi := chunk[c]
-					s.buildBlockProblem(vi, s.q, &ws.prob)
-					sol := ws.fs.SolveQuick(&ws.prob)
-					chunkSols[c] = toIntSol(&sol, &s.inst.Demands[vi])
-				}
-				ws.blocks += int64(whi - wlo)
-			}); err != nil {
-				break passes // cancelled before dispatch; chunkSols is stale
-			}
-
-			// Sequential application with line search.
-			for c, vi := range chunk {
-				s.applyBlock(vi, &chunkSols[c])
-			}
-			if s.ctx.Err() != nil {
-				break passes
-			}
-
-			// Step 11: shrink the scale when the point got less infeasible.
-			dc, r0 = s.maxCouplingViol()
-			dz := math.Max(math.Max(dc, r0), o.Epsilon/2)
-			if dz < s.delta {
-				s.delta = dz
-				s.alpha = o.Gamma * lnM1 / s.delta
-			}
+		if !s.descentPass() {
+			break passes
 		}
 
 		// Periodic exact refresh: incremental activity updates accumulate
@@ -653,7 +864,7 @@ passes:
 		}
 
 		// Incumbent update (step 12).
-		dc, _ = s.maxCouplingViol()
+		dc, _ := s.maxCouplingViol()
 		if dc <= o.Epsilon && s.obj < s.ub {
 			s.ub = s.obj
 			s.snapshotBest()
@@ -663,13 +874,6 @@ passes:
 			break
 		}
 
-		// FEAS(B) stall detection: when B (the objective-row target) sits
-		// below the true LP optimum — because the Lagrangian bound has not
-		// caught up — the coupling violation plateaus at a positive level
-		// instead of reaching ε: the potential is balancing a constraint
-		// that cannot be met. Raising the guess B is exactly the move the
-		// FEAS(B) framework prescribes; the reported lower bound stays the
-		// proven LR value, so the final optimality gap remains honest.
 		// FEAS(B) rescue: if no ε-feasible point has appeared by late in
 		// the pass budget, the guess B is likely below the LP optimum (the
 		// Lagrangian bound has not caught up) and the violation plateaus —
@@ -678,17 +882,17 @@ passes:
 		// only as a late rescue because it sacrifices objective pressure.
 		// The first incumbent resets the premium so the normal dynamics
 		// resume, and the incumbent snapshot protects what was found.
-		dcHist = append(dcHist, dc)
+		s.dcHist = append(s.dcHist, dc)
 		switch {
 		case s.haveUB && s.bPremium > 1:
 			s.bPremium = 1
 			s.retargetB()
-		case !s.haveUB && pass > o.MaxPasses*3/4 && dc > 1.8*o.Epsilon && len(dcHist) >= 8:
-			ref := dcHist[len(dcHist)-8]
+		case !s.haveUB && pass > o.MaxPasses*3/4 && dc > 1.8*o.Epsilon && len(s.dcHist) >= 8:
+			ref := s.dcHist[len(s.dcHist)-8]
 			if ref-dc < 0.05*(dc-o.Epsilon) {
 				s.bPremium = math.Min(1.5, s.bPremium*1.03)
 				s.retargetB()
-				dcHist = dcHist[:0] // give the new target time to act
+				s.dcHist = s.dcHist[:0] // give the new target time to act
 			}
 		}
 
@@ -714,9 +918,9 @@ passes:
 			// passes; run it while the duals are still moving (early
 			// passes) and periodically afterwards, with a single
 			// evaluation at the carried scale in between.
-			mults := []float64{0.5, 1, 2}
+			mults := lbMultsWide[:]
 			if pass > 8 && pass%3 != 0 {
-				mults = []float64{1}
+				mults = lbMultsNarrow[:]
 			}
 			for _, mult := range mults {
 				scale := s.lbScale * mult
@@ -750,7 +954,7 @@ passes:
 		}
 
 		if o.OnPass != nil {
-			dc, _ = s.maxCouplingViol()
+			dc, _ := s.maxCouplingViol()
 			o.OnPass(PassInfo{
 				Pass: pass, Objective: s.obj, LowerBound: s.lb,
 				MaxViol: dc, Delta: s.delta, UpperBound: s.ub,
@@ -771,6 +975,13 @@ passes:
 	res = s.buildResult(pass, converged)
 	return res
 }
+
+// Lower-bound scale-search multipliers (package-level so the pass loop
+// doesn't materialize a slice literal per pass).
+var (
+	lbMultsWide   = [3]float64{0.5, 1, 2}
+	lbMultsNarrow = [1]float64{1}
+)
 
 // retargetB recomputes the objective-row target from the proven bound and
 // the current premium.
@@ -844,19 +1055,42 @@ func (s *solver) restoreBest() {
 }
 
 // toIntSol converts a facility-location solution to an intSol, dropping
-// opened facilities that serve no demand (they only consume disk). For
-// zero-demand videos the single cheapest facility is kept: the video must
-// be stored somewhere.
+// opened facilities that serve no demand (they only consume disk). Used by
+// the (allocation-tolerant) rounding phase; the descent hot path uses
+// toIntSolInto.
 func toIntSol(fsol *facloc.Solution, d *mip.VideoDemand) intSol {
 	var out intSol
-	if len(d.Js) == 0 {
-		if len(fsol.Open) > 0 {
-			out.open = []int32{int32(fsol.Open[0])}
+	var used []bool
+	if len(d.Js) > 0 {
+		max := 0
+		for _, i := range fsol.Open {
+			if i >= max {
+				max = i + 1
+			}
 		}
-		return out
+		used = make([]bool, max)
 	}
-	used := make(map[int]bool, len(fsol.Open))
-	out.assign = make([]int32, len(fsol.Assign))
+	toIntSolInto(fsol, d, used, &out)
+	return out
+}
+
+// toIntSolInto is toIntSol writing into out, reusing its backing arrays.
+// used is caller scratch (len ≥ every facility index in fsol.Open); it is
+// left all-false on return. fsol.Open is ascending, and the filter below
+// preserves order, so out.open is ascending without sorting.
+func toIntSolInto(fsol *facloc.Solution, d *mip.VideoDemand, used []bool, out *intSol) {
+	out.open = out.open[:0]
+	if len(d.Js) == 0 {
+		out.assign = out.assign[:0]
+		if len(fsol.Open) > 0 {
+			out.open = append(out.open, int32(fsol.Open[0]))
+		}
+		return
+	}
+	if cap(out.assign) < len(fsol.Assign) {
+		out.assign = make([]int32, 0, len(fsol.Assign))
+	}
+	out.assign = out.assign[:len(fsol.Assign)]
 	for k, i := range fsol.Assign {
 		out.assign[k] = int32(i)
 		used[i] = true
@@ -866,8 +1100,17 @@ func toIntSol(fsol *facloc.Solution, d *mip.VideoDemand) intSol {
 			out.open = append(out.open, int32(i))
 		}
 	}
-	sort.Slice(out.open, func(a, b int) bool { return out.open[a] < out.open[b] })
-	return out
+	for _, i := range fsol.Assign {
+		used[i] = false
+	}
+}
+
+// addDelta accumulates a sparse row delta into s.acc/s.touched.
+func (s *solver) addDelta(r int, v float64) {
+	if s.acc[r] == 0 && v != 0 {
+		s.touched = append(s.touched, int32(r))
+	}
+	s.acc[r] += v
 }
 
 // applyBlock replaces block vi by a convex combination of its current
@@ -877,57 +1120,50 @@ func toIntSol(fsol *facloc.Solution, d *mip.VideoDemand) intSol {
 func (s *solver) applyBlock(vi int, ns *intSol) {
 	d := &s.inst.Demands[vi]
 	old := &s.sol[vi]
+	n := s.n
 
 	// Deltas: new block rows minus old block rows, into s.acc/s.touched.
 	s.touched = s.touched[:0]
-	addRow := func(r int, v float64) {
-		if s.acc[r] == 0 && v != 0 {
-			s.touched = append(s.touched, int32(r))
-		}
-		s.acc[r] += v
-	}
 	// Old contribution, negated.
 	for _, f := range old.open {
-		addRow(s.rowDisk(int(f.I)), -d.SizeGB*f.V)
+		s.addDelta(int(f.I), -d.SizeGB*f.V)
 	}
 	for k, fr := range old.assign {
 		j := int(d.Js[k])
+		ts, fv := d.ConcNZ(k)
 		for _, f := range fr {
 			if int(f.I) == j || f.V == 0 {
 				continue
 			}
 			path := s.inst.G.Path(int(f.I), j)
-			for t := 0; t < s.T; t++ {
-				flow := d.RateMbps * d.Conc[t][k] * f.V
-				if flow == 0 {
-					continue
-				}
+			for x, t := range ts {
+				flow := d.RateMbps * fv[x] * f.V
+				base := s.n + int(t)*s.L
 				for _, l := range path {
-					addRow(s.rowLink(l, t), -flow)
+					s.addDelta(base+int(l), -flow)
 				}
 			}
 		}
 	}
 	// New contribution.
 	for _, i := range ns.open {
-		addRow(s.rowDisk(int(i)), d.SizeGB)
+		s.addDelta(int(i), d.SizeGB)
 	}
 	var dObj float64
 	dObj -= s.blockCost(vi, old)
 	for k, i := range ns.assign {
 		j := int(d.Js[k])
-		dObj += d.SizeGB * d.Agg[k] * s.inst.Cost(int(i), j)
+		dObj += d.SizeGB * d.Agg[k] * s.costT[j*n+int(i)]
 		if int(i) == j {
 			continue
 		}
 		path := s.inst.G.Path(int(i), j)
-		for t := 0; t < s.T; t++ {
-			flow := d.RateMbps * d.Conc[t][k]
-			if flow == 0 {
-				continue
-			}
+		ts, fv := d.ConcNZ(k)
+		for x, t := range ts {
+			flow := d.RateMbps * fv[x]
+			base := s.n + int(t)*s.L
 			for _, l := range path {
-				addRow(s.rowLink(l, t), flow)
+				s.addDelta(base+int(l), flow)
 			}
 		}
 	}
@@ -955,19 +1191,33 @@ func (s *solver) applyBlock(vi int, ns *intSol) {
 }
 
 // lineSearch minimizes Φ(z + τ·Δ) over τ ∈ [0, 1] given the sparse row
-// deltas in s.acc/s.touched and the objective delta. Φ is convex in τ, so
-// bisection on the (sign of the) derivative suffices.
+// deltas in s.acc/s.touched and the objective delta. Φ is convex in τ.
+//
+// The touched rows are first gathered into contiguous scratch arrays with
+// the per-row delta/b coefficient divided out once, so each derivative
+// evaluation is a single fused multiply-exp sweep. The default mode then
+// bisects (bit-identical to the historical trajectory); IncrementalPricing
+// mode runs a safeguarded Newton iteration on Φ' that typically converges
+// in ~5 evaluations instead of 30.
 func (s *solver) lineSearch(dObj float64) float64 {
 	s.stats.LineSearches++
+	m := 0
+	for _, r := range s.touched {
+		delta := s.acc[r]
+		if delta == 0 {
+			continue
+		}
+		s.lsDelta[m] = delta
+		s.lsAct[m] = s.act[r]
+		s.lsB[m] = s.b[r]
+		s.lsDB[m] = delta / s.b[r]
+		m++
+	}
 	deriv := func(tau float64) float64 {
 		var dsum float64
-		for _, r := range s.touched {
-			delta := s.acc[r]
-			if delta == 0 {
-				continue
-			}
-			rr := (s.act[r]+tau*delta)/s.b[r] - 1
-			dsum += delta / s.b[r] * expClamp(s.alpha*rr)
+		for x := 0; x < m; x++ {
+			rr := (s.lsAct[x]+tau*s.lsDelta[x])/s.lsB[x] - 1
+			dsum += s.lsDB[x] * expClamp(s.alpha*rr)
 		}
 		if dObj != 0 {
 			rr0 := (s.obj+tau*dObj)/s.bObj - 1
@@ -981,6 +1231,9 @@ func (s *solver) lineSearch(dObj float64) float64 {
 	if deriv(1) <= 0 {
 		return 1
 	}
+	if s.opts.IncrementalPricing {
+		return s.newtonRoot(dObj, m)
+	}
 	lo, hi := 0.0, 1.0
 	for iter := 0; iter < 30; iter++ {
 		mid := (lo + hi) / 2
@@ -991,6 +1244,62 @@ func (s *solver) lineSearch(dObj float64) float64 {
 		}
 	}
 	return (lo + hi) / 2
+}
+
+// newtonRoot finds the zero of Φ' in (0, 1) by Newton's method on the
+// gathered rows, safeguarded by the [lo, hi] sign bracket: steps that leave
+// the bracket (routine while the exponentials are saturated far from the
+// root) fall back to its midpoint, so each iteration at least halves the
+// bracket and convergence is never worse than the 30-step bisection it
+// replaces. Near the root Newton is quadratic and the |next − tau| break
+// fires after a handful of sweeps — that early exit is the speedup, not a
+// lower iteration cap: optimal steps are often tiny (τ ~ 1e-6), and a
+// coarser tau would overshoot them and climb the potential instead of
+// descending it. Φ” = Σ α·(Δ_r/b_r)²·exp(·) ≥ 0 comes from the same sweep
+// as Φ', so an iteration costs the same as one bisection probe.
+func (s *solver) newtonRoot(dObj float64, m int) float64 {
+	lo, hi := 0.0, 1.0
+	tau := 0.5
+	for iter := 0; iter < 30; iter++ {
+		var d1, d2 float64
+		for x := 0; x < m; x++ {
+			rr := (s.lsAct[x]+tau*s.lsDelta[x])/s.lsB[x] - 1
+			e := expClamp(s.alpha * rr)
+			d1 += s.lsDB[x] * e
+			d2 += s.alpha * s.lsDB[x] * s.lsDB[x] * e
+		}
+		if dObj != 0 {
+			rr0 := (s.obj+tau*dObj)/s.bObj - 1
+			e := expClamp(s.alpha * rr0)
+			db := dObj / s.bObj
+			d1 += db * e
+			d2 += s.alpha * db * db * e
+		}
+		if d1 < 0 {
+			lo = tau
+		} else {
+			hi = tau
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+		next := tau
+		if d2 > 0 && !math.IsInf(d1, 0) && !math.IsInf(d2, 0) {
+			next = tau - d1/d2
+		}
+		if next <= lo || next >= hi || math.IsNaN(next) {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-tau) < 1e-14 {
+			tau = next
+			break
+		}
+		tau = next
+	}
+	if tau <= lo || tau >= hi {
+		tau = (lo + hi) / 2
+	}
+	return tau
 }
 
 // mixBlock sets s.sol[vi] ← (1−τ)·old + τ·ns, then tightens y to the
@@ -1019,7 +1328,10 @@ func (s *solver) mixBlock(vi int, ns *intSol, tau float64) {
 		y[i] = 0
 	}
 	for k := range old.assign {
-		merged := mergeFracs(old.assign[k], ns.assign[k], tau, prune)
+		s.mergeFracs(old.assign[k], ns.assign[k], tau, prune)
+		// Copy the staged merge back through the row's own backing array;
+		// append only allocates while a row's capacity is still growing.
+		merged := append(old.assign[k][:0], s.mergeBuf...)
 		old.assign[k] = merged
 		// Renormalize to sum exactly 1 (pruning can nudge it off).
 		var sum float64
@@ -1065,10 +1377,12 @@ func (s *solver) mixBlock(vi int, ns *intSol, tau float64) {
 	}
 }
 
-// mergeFracs returns (1−τ)·a + τ·unit(i_b); both inputs sorted by office,
-// output sorted, entries below prune dropped.
-func mergeFracs(a []mip.Frac, ib int32, tau, prune float64) []mip.Frac {
-	out := make([]mip.Frac, 0, len(a)+1)
+// mergeFracs stages (1−τ)·a + τ·unit(i_b) into s.mergeBuf; a is sorted by
+// office, the staged result is sorted, entries below prune are dropped. The
+// caller copies the buffer back through the destination row's backing, so
+// steady-state merges allocate nothing once row capacities stabilize.
+func (s *solver) mergeFracs(a []mip.Frac, ib int32, tau, prune float64) {
+	out := s.mergeBuf[:0]
 	inserted := false
 	for _, f := range a {
 		v := (1 - tau) * f.V
@@ -1088,7 +1402,7 @@ func mergeFracs(a []mip.Frac, ib int32, tau, prune float64) []mip.Frac {
 	if !inserted && tau > prune {
 		out = append(out, mip.Frac{I: ib, V: tau})
 	}
-	return out
+	s.mergeBuf = out
 }
 
 // lagrangianBound computes LR(λ) = Σ_k LB_k(λ) − Σ_r λ_r·b_r with the given
@@ -1108,7 +1422,8 @@ func (s *solver) lagrangianBound(q []float64) float64 {
 // runs in block order on this goroutine, so the bound and subgradient are
 // bit-identical at any worker count. On cancellation it returns (−Inf, nil):
 // callers only ever take the max of the bound, so a cancelled evaluation
-// can never corrupt the solve.
+// can never corrupt the solve. The returned gradient is solver-owned
+// scratch, valid until the next call.
 func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64) {
 	s.computePathDuals(q)
 	s.stats.LBEvals++
@@ -1118,6 +1433,9 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 	}
 	err := s.pool.Run(s.ctx, numBlocks, func(w, lo, hi int) {
 		ws := s.scratch.Get(w)
+		if ws.used == nil {
+			ws.used = make([]bool, s.n)
+		}
 		for vi := lo; vi < hi; vi++ {
 			if (vi-lo)%64 == 0 && s.ctx.Err() != nil {
 				return
@@ -1126,8 +1444,8 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 			lb, _ := ws.fs.DualAscent(&ws.prob)
 			s.lbBuf[vi] = lb
 			if wantGrad {
-				psol := ws.fs.SolveQuick(&ws.prob)
-				s.lbSols[vi] = toIntSol(&psol, &s.inst.Demands[vi])
+				ws.fs.SolveQuickInto(&ws.prob, &ws.fsol, nil)
+				toIntSolInto(&ws.fsol, &s.inst.Demands[vi], ws.used, &s.lbSols[vi])
 			}
 			ws.lbBlocks++
 		}
@@ -1152,7 +1470,13 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 	if !wantGrad {
 		return lr, nil
 	}
-	grad := make([]float64, s.rows)
+	if s.gradBuf == nil {
+		s.gradBuf = make([]float64, s.rows)
+	}
+	grad := s.gradBuf
+	for r := range grad {
+		grad[r] = 0
+	}
 	for vi := 0; vi < numBlocks; vi++ {
 		s.accumulateIntRows(vi, &s.lbSols[vi], grad)
 	}
@@ -1164,7 +1488,7 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 func (s *solver) accumulateIntRows(vi int, ns *intSol, act []float64) {
 	d := &s.inst.Demands[vi]
 	for _, i := range ns.open {
-		act[s.rowDisk(int(i))] += d.SizeGB
+		act[int(i)] += d.SizeGB
 	}
 	if s.T == 0 {
 		return
@@ -1175,13 +1499,12 @@ func (s *solver) accumulateIntRows(vi int, ns *intSol, act []float64) {
 			continue
 		}
 		path := s.inst.G.Path(int(i), j)
-		for t := 0; t < s.T; t++ {
-			flow := d.RateMbps * d.Conc[t][k]
-			if flow == 0 {
-				continue
-			}
+		ts, fv := d.ConcNZ(k)
+		for x, t := range ts {
+			flow := d.RateMbps * fv[x]
+			base := s.n + int(t)*s.L
 			for _, l := range path {
-				act[s.rowLink(l, t)] += flow
+				act[base+int(l)] += flow
 			}
 		}
 	}

@@ -319,6 +319,11 @@ func TestActivityConsistency(t *testing.T) {
 }
 
 func TestMergeFracs(t *testing.T) {
+	s := &solver{mergeBuf: make([]mip.Frac, 0, 8)}
+	mergeFracs := func(a []mip.Frac, ib int32, tau, prune float64) []mip.Frac {
+		s.mergeFracs(a, ib, tau, prune)
+		return append([]mip.Frac(nil), s.mergeBuf...)
+	}
 	a := []mip.Frac{{I: 1, V: 0.5}, {I: 3, V: 0.5}}
 	got := mergeFracs(a, 2, 0.4, 1e-12)
 	// (1-0.4)*a + 0.4*unit(2) = {1:0.3, 2:0.4, 3:0.3}
@@ -354,14 +359,33 @@ func TestMergeFracs(t *testing.T) {
 }
 
 func TestExpClamp(t *testing.T) {
-	if expClamp(-1000) != 0 {
+	if expClamp(-2*lineExpCap) != 0 {
 		t.Error("large negative should underflow to 0")
 	}
-	if math.IsInf(expClamp(1000), 1) {
+	if math.IsInf(expClamp(2*lineExpCap), 1) {
 		t.Error("clamped exp must stay finite")
+	}
+	if expClamp(2*lineExpCap) != math.Exp(lineExpCap) {
+		t.Error("positive overflow should saturate exactly at the cap")
 	}
 	if math.Abs(expClamp(1)-math.E) > 1e-12 {
 		t.Error("expClamp(1) != e")
+	}
+}
+
+// The two exponent caps are deliberately ordered: dual prices get multiplied
+// by B/b_r and summed over paths, so they need more overflow headroom than
+// the line-search derivative terms, which are only compared by sign and
+// relative size.
+func TestExpCapOrdering(t *testing.T) {
+	if dualExpCap >= lineExpCap {
+		t.Errorf("dualExpCap (%d) must be tighter than lineExpCap (%d)", dualExpCap, lineExpCap)
+	}
+	if !math.IsInf(math.Exp(2*lineExpCap), 1) {
+		t.Error("caps only matter if the uncapped exponent would overflow")
+	}
+	if math.IsInf(math.Exp(lineExpCap), 1) {
+		t.Error("lineExpCap itself must stay finite")
 	}
 }
 

@@ -336,7 +336,7 @@ func (s *solver) integerStepImproves(vi int, cur *blockSol, ns *intSol, curCost 
 					continue
 				}
 				for _, l := range path {
-					curRows[s.rowLink(l, t)] += flow
+					curRows[s.rowLink(int(l), t)] += flow
 				}
 			}
 		}
@@ -354,7 +354,7 @@ func (s *solver) integerStepImproves(vi int, cur *blockSol, ns *intSol, curCost 
 				continue
 			}
 			for _, l := range path {
-				newRows[s.rowLink(l, t)] += flow
+				newRows[s.rowLink(int(l), t)] += flow
 			}
 		}
 	}

@@ -19,13 +19,13 @@
 //
 // Problems here are small (facilities = offices, |V| ≈ 23..55 in the paper's
 // networks) but solved millions of times, so the code favors O(n·K) passes
-// and reuses scratch space via a Solver value.
+// over a flat row-major cost matrix and reuses scratch space via a Solver
+// value.
 package facloc
 
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Problem is one UFL instance: n facilities, K demand points.
@@ -35,15 +35,40 @@ import (
 type Problem struct {
 	// Open[i] is the cost F_i of opening facility i.
 	Open []float64
-	// Assign[k][i] is the cost of serving demand point k from facility i.
-	Assign [][]float64
+	// Assign is the K×n assignment-cost matrix in flat row-major layout:
+	// Assign[k*n+i] is the cost of serving demand point k from facility i,
+	// with n = len(Open). The flat layout keeps the per-demand scans of the
+	// inner solvers on contiguous memory.
+	Assign []float64
 }
 
 // NumFacilities returns n.
 func (p *Problem) NumFacilities() int { return len(p.Open) }
 
 // NumDemands returns K.
-func (p *Problem) NumDemands() int { return len(p.Assign) }
+func (p *Problem) NumDemands() int {
+	if len(p.Open) == 0 {
+		return 0
+	}
+	return len(p.Assign) / len(p.Open)
+}
+
+// Row returns demand k's assignment-cost row (length n).
+func (p *Problem) Row(k int) []float64 {
+	n := len(p.Open)
+	return p.Assign[k*n : k*n+n : k*n+n]
+}
+
+// Reshape sets the matrix to K rows of n = len(Open) columns, reusing the
+// backing array when possible. Contents are unspecified; callers fill every
+// entry.
+func (p *Problem) Reshape(k int) {
+	sz := k * len(p.Open)
+	if cap(p.Assign) < sz {
+		p.Assign = make([]float64, sz)
+	}
+	p.Assign = p.Assign[:sz]
+}
 
 // Validate checks structural consistency; solver entry points call it only
 // in debug paths, so malformed problems surface in tests rather than deep in
@@ -58,14 +83,12 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("facloc: open cost %d is %g", i, f)
 		}
 	}
-	for k, row := range p.Assign {
-		if len(row) != n {
-			return fmt.Errorf("facloc: assign row %d has %d entries for %d facilities", k, len(row), n)
-		}
-		for i, g := range row {
-			if g < 0 || math.IsNaN(g) {
-				return fmt.Errorf("facloc: assign cost (%d,%d) is %g", k, i, g)
-			}
+	if len(p.Assign)%n != 0 {
+		return fmt.Errorf("facloc: assign matrix has %d entries, not a multiple of %d facilities", len(p.Assign), n)
+	}
+	for idx, g := range p.Assign {
+		if g < 0 || math.IsNaN(g) {
+			return fmt.Errorf("facloc: assign cost (%d,%d) is %g", idx/n, idx%n, g)
 		}
 	}
 	return nil
@@ -89,13 +112,19 @@ type Solver struct {
 	bestI        []int     // facility achieving best1
 	bestI2       []int     // facility achieving best2
 	open         []bool
-	openScratch  []bool
-	nOpen        int
-	gainBuf      []float64
+	// openList mirrors open as an ascending index list, so per-demand
+	// rescans and open-set sums walk only the open facilities (usually a
+	// handful out of n) in the same ascending order the historical
+	// full-array scans used — identical candidate sequence, fewer reads.
+	openList    []int
+	openScratch []bool
+	nOpen       int
+	gainBuf     []float64
 	// dual-ascent scratch
-	v     []float64
-	slack []float64
-	order []int
+	v       []float64
+	slack   []float64
+	order   []int
+	contrib []int
 }
 
 func (s *Solver) reserve(n, k int) {
@@ -112,31 +141,44 @@ func (s *Solver) reserve(n, k int) {
 	if cap(s.open) < n {
 		s.open = make([]bool, n)
 		s.gainBuf = make([]float64, n)
+		s.openList = make([]int, 0, n)
 	}
 	s.open = s.open[:n]
 	s.gainBuf = s.gainBuf[:n]
 	for i := range s.open {
 		s.open[i] = false
 	}
+	s.openList = s.openList[:0]
 	s.nOpen = 0
+}
+
+// rebuildOpenList resyncs openList from the open booleans (used after bulk
+// edits of the open set; incremental moves maintain the list directly).
+func (s *Solver) rebuildOpenList() {
+	s.openList = s.openList[:0]
+	for i, o := range s.open {
+		if o {
+			s.openList = append(s.openList, i)
+		}
+	}
 }
 
 // refreshBests recomputes best/second-best open facilities for every demand.
 func (s *Solver) refreshBests(p *Problem) {
-	for k := range p.Assign {
+	for k := range s.best1 {
 		s.rescanDemand(p, k)
 	}
 }
 
-// rescanDemand recomputes demand k's best and second-best open facilities.
+// rescanDemand recomputes demand k's best and second-best open facilities,
+// scanning only the open list (ascending, matching the historical full-row
+// scan's candidate order).
 func (s *Solver) rescanDemand(p *Problem, k int) {
-	row := p.Assign[k]
+	row := p.Row(k)
 	b1, b2 := math.Inf(1), math.Inf(1)
 	bi, bi2 := -1, -1
-	for i, g := range row {
-		if !s.open[i] {
-			continue
-		}
+	for _, i := range s.openList {
+		g := row[i]
 		if g < b1 {
 			b2, bi2 = b1, bi
 			b1, bi = g, i
@@ -152,8 +194,14 @@ func (s *Solver) rescanDemand(p *Problem, k int) {
 func (s *Solver) openFacility(p *Problem, i int) {
 	s.open[i] = true
 	s.nOpen++
-	for k, row := range p.Assign {
-		g := row[i]
+	lst := append(s.openList, i)
+	for a := len(lst) - 1; a > 0 && lst[a-1] > i; a-- {
+		lst[a], lst[a-1] = lst[a-1], i
+	}
+	s.openList = lst
+	n := len(p.Open)
+	for k := range s.best1 {
+		g := p.Assign[k*n+i]
 		if g < s.best1[k] {
 			s.best2[k], s.bestI2[k] = s.best1[k], s.bestI[k]
 			s.best1[k], s.bestI[k] = g, i
@@ -167,7 +215,13 @@ func (s *Solver) openFacility(p *Problem, i int) {
 func (s *Solver) closeFacility(p *Problem, i int) {
 	s.open[i] = false
 	s.nOpen--
-	for k := range p.Assign {
+	for a, x := range s.openList {
+		if x == i {
+			s.openList = append(s.openList[:a], s.openList[a+1:]...)
+			break
+		}
+	}
+	for k := range s.best1 {
 		if s.bestI[k] == i || s.bestI2[k] == i {
 			s.rescanDemand(p, k)
 		}
@@ -178,15 +232,36 @@ func (s *Solver) closeFacility(p *Problem, i int) {
 // bests.
 func (s *Solver) openSetCost(p *Problem) float64 {
 	var total float64
-	for i, o := range s.open {
-		if o {
-			total += p.Open[i]
-		}
+	for _, i := range s.openList {
+		total += p.Open[i]
 	}
-	for k := range p.Assign {
+	for k := range s.best1 {
 		total += s.best1[k]
 	}
 	return total
+}
+
+// cheapestSingle returns the facility with the cheapest total cost when it
+// alone is open. The accumulation runs row-major over the cost matrix;
+// every facility's sum is still Open[i] plus its column entries in
+// ascending k order, the same addition sequence as a per-column scan.
+func (s *Solver) cheapestSingle(p *Problem, kk int) int {
+	n := len(p.Open)
+	acc := s.gainBuf
+	copy(acc, p.Open)
+	for k := 0; k < kk; k++ {
+		row := p.Row(k)
+		for i := 0; i < n; i++ {
+			acc[i] += row[i]
+		}
+	}
+	bestSingle, bestCost := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		if acc[i] < bestCost {
+			bestSingle, bestCost = i, acc[i]
+		}
+	}
+	return bestSingle
 }
 
 // Solve computes an integer UFL solution via local search from two
@@ -196,6 +271,14 @@ func (s *Solver) openSetCost(p *Problem) float64 {
 // facility is opened (every video must be stored somewhere — constraints
 // (3)+(4) imply Σ_i y_i^m ≥ 1).
 func (s *Solver) Solve(p *Problem) Solution {
+	var out Solution
+	s.SolveInto(p, &out)
+	return out
+}
+
+// SolveInto is Solve writing the result into out, reusing its backing
+// arrays (zero allocations once out has been used for a same-shape problem).
+func (s *Solver) SolveInto(p *Problem, out *Solution) {
 	n, kk := p.NumFacilities(), p.NumDemands()
 	if n == 0 {
 		panic("facloc: Solve with no facilities")
@@ -203,42 +286,34 @@ func (s *Solver) Solve(p *Problem) Solution {
 	s.reserve(n, kk)
 
 	// Start 1: the single facility with the cheapest total cost.
-	bestSingle, bestCost := 0, math.Inf(1)
-	for i := 0; i < n; i++ {
-		c := p.Open[i]
-		for k := range p.Assign {
-			c += p.Assign[k][i]
-		}
-		if c < bestCost {
-			bestSingle, bestCost = i, c
-		}
-	}
-	s.open[bestSingle] = true
+	s.open[s.cheapestSingle(p, kk)] = true
 	s.nOpen = 1
+	s.rebuildOpenList()
 	s.refreshBests(p)
 	s.localSearch(p, true)
 	cost1 := s.openSetCost(p)
-	open1 := make([]bool, n)
+	if cap(s.openScratch) < n {
+		s.openScratch = make([]bool, n)
+	}
+	open1 := s.openScratch[:n]
 	copy(open1, s.open)
+	nOpen1 := s.nOpen
 
 	// Start 2: everything open, letting drop moves pare the set down.
 	for i := range s.open {
 		s.open[i] = true
 	}
 	s.nOpen = n
+	s.rebuildOpenList()
 	s.refreshBests(p)
 	s.localSearch(p, true)
 	if cost1 <= s.openSetCost(p) {
 		copy(s.open, open1)
-		s.nOpen = 0
-		for _, o := range open1 {
-			if o {
-				s.nOpen++
-			}
-		}
+		s.nOpen = nOpen1
+		s.rebuildOpenList()
 		s.refreshBests(p)
 	}
-	return s.extract(p, kk)
+	s.extractInto(p, kk, out)
 }
 
 // SolveQuick is a cheaper Solve for the solver's inner descent loop: both
@@ -247,23 +322,27 @@ func (s *Solver) Solve(p *Problem) Solution {
 // profiles. Block steps need a good direction, not a certified local
 // optimum; the robust Solve is reserved for the rounding phase.
 func (s *Solver) SolveQuick(p *Problem) Solution {
+	var out Solution
+	s.SolveQuickInto(p, &out, nil)
+	return out
+}
+
+// SolveQuickInto is SolveQuick writing the result into out, reusing its
+// backing arrays. When warm is non-empty it replaces the all-open second
+// start with the given open set (ascending facility indices) — used by the
+// epf solver's opt-in warm-start mode, where the previous pass's block
+// solution is usually near the new optimum and seeds the local search much
+// closer than the all-open drop start. An empty warm set keeps the default
+// bit-exact two-start schedule.
+func (s *Solver) SolveQuickInto(p *Problem, out *Solution, warm []int32) {
 	n, kk := p.NumFacilities(), p.NumDemands()
 	if n == 0 {
 		panic("facloc: SolveQuick with no facilities")
 	}
 	s.reserve(n, kk)
-	bestSingle, bestCost := 0, math.Inf(1)
-	for i := 0; i < n; i++ {
-		c := p.Open[i]
-		for k := range p.Assign {
-			c += p.Assign[k][i]
-		}
-		if c < bestCost {
-			bestSingle, bestCost = i, c
-		}
-	}
-	s.open[bestSingle] = true
+	s.open[s.cheapestSingle(p, kk)] = true
 	s.nOpen = 1
+	s.rebuildOpenList()
 	s.refreshBests(p)
 	s.localSearch(p, false)
 	cost1 := s.openSetCost(p)
@@ -275,34 +354,50 @@ func (s *Solver) SolveQuick(p *Problem) Solution {
 	nOpen1 := s.nOpen
 
 	for i := range s.open {
-		s.open[i] = true
+		s.open[i] = false
 	}
-	s.nOpen = n
+	if len(warm) > 0 {
+		s.nOpen = 0
+		for _, i := range warm {
+			if !s.open[i] {
+				s.open[i] = true
+				s.nOpen++
+			}
+		}
+	} else {
+		for i := range s.open {
+			s.open[i] = true
+		}
+		s.nOpen = n
+	}
+	s.rebuildOpenList()
 	s.refreshBests(p)
 	s.localSearch(p, false)
 	if cost1 <= s.openSetCost(p) {
 		copy(s.open, open1)
 		s.nOpen = nOpen1
+		s.rebuildOpenList()
 		s.refreshBests(p)
 	}
-	return s.extract(p, kk)
+	s.extractInto(p, kk, out)
 }
 
-func (s *Solver) extract(p *Problem, kk int) Solution {
-	out := Solution{Assign: make([]int, kk)}
-	for i, o := range s.open {
-		if o {
-			out.Open = append(out.Open, i)
-		}
+// extractInto fills out from the current open set, reusing out's backing
+// arrays.
+func (s *Solver) extractInto(p *Problem, kk int, out *Solution) {
+	out.Open = out.Open[:0]
+	if cap(out.Assign) < kk {
+		out.Assign = make([]int, kk)
 	}
-	for k := range p.Assign {
+	out.Assign = out.Assign[:kk]
+	out.Open = append(out.Open, s.openList...)
+	for k := 0; k < kk; k++ {
 		if s.bestI[k] < 0 {
-			panic(fmt.Sprintf("facloc: demand %d unassigned: nOpen=%d open=%v best1=%v row=%v", k, s.nOpen, out.Open, s.best1[k], p.Assign[k]))
+			panic(fmt.Sprintf("facloc: demand %d unassigned: nOpen=%d open=%v best1=%v row=%v", k, s.nOpen, out.Open, s.best1[k], p.Row(k)))
 		}
 		out.Assign[k] = s.bestI[k]
 	}
 	out.Cost = s.openSetCost(p)
-	return out
 }
 
 // localSearch runs add/drop (and, when swaps is set, swap) moves on the
@@ -310,6 +405,7 @@ func (s *Solver) extract(p *Problem, kk int) Solution {
 // maintained incrementally: opening costs O(K), closing O(K + affected·n).
 func (s *Solver) localSearch(p *Problem, swaps bool) {
 	n := p.NumFacilities()
+	kk := len(s.best1)
 	const maxPasses = 60
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
@@ -320,8 +416,8 @@ func (s *Solver) localSearch(p *Problem, swaps bool) {
 				continue
 			}
 			gain := -p.Open[i]
-			for k, row := range p.Assign {
-				if d := s.best1[k] - row[i]; d > 0 {
+			for k := 0; k < kk; k++ {
+				if d := s.best1[k] - p.Assign[k*n+i]; d > 0 {
 					gain += d
 				}
 			}
@@ -338,7 +434,7 @@ func (s *Solver) localSearch(p *Problem, swaps bool) {
 			}
 			gain := p.Open[i]
 			feasible := true
-			for k := range p.Assign {
+			for k := 0; k < kk; k++ {
 				if s.bestI[k] == i {
 					if math.IsInf(s.best2[k], 1) {
 						feasible = false // only open facility for this demand
@@ -366,11 +462,11 @@ func (s *Solver) localSearch(p *Problem, swaps bool) {
 						continue
 					}
 					gain := p.Open[i] - p.Open[ip]
-					for k, row := range p.Assign {
+					for k := 0; k < kk; k++ {
 						cur := s.best1[k]
 						// Serving options after the swap: cheapest open
 						// facility other than i, or the newly opened ip.
-						alt := row[ip]
+						alt := p.Assign[k*n+ip]
 						if s.bestI[k] != i {
 							if cur < alt {
 								alt = cur
@@ -427,11 +523,14 @@ func (s *Solver) DualAscent(p *Problem) (float64, []float64) {
 	s.order = s.order[:kk]
 
 	// Initialize v_k to the cheapest assignment cost; facility slacks absorb
-	// the implied contributions.
+	// the implied contributions. Both sweeps of a row run back to back while
+	// it is cache-hot; the slack decrements still happen in (k, i) order, so
+	// the accumulation sequence is unchanged.
 	for i := range s.slack {
 		s.slack[i] = p.Open[i]
 	}
-	for k, row := range p.Assign {
+	for k := 0; k < kk; k++ {
+		row := p.Row(k)
 		m := math.Inf(1)
 		for _, g := range row {
 			if g < m {
@@ -439,11 +538,9 @@ func (s *Solver) DualAscent(p *Problem) (float64, []float64) {
 			}
 		}
 		s.v[k] = m
-	}
-	for k, row := range p.Assign {
 		for i, g := range row {
-			if s.v[k] > g {
-				s.slack[i] -= s.v[k] - g
+			if m > g {
+				s.slack[i] -= m - g
 			}
 		}
 	}
@@ -462,41 +559,78 @@ func (s *Solver) DualAscent(p *Problem) (float64, []float64) {
 	// Processing demands with the lowest initial dual first mimics the
 	// classic ascent's uniform raise and converges in few waves; the order
 	// is computed once — re-sorting each wave measurably dominated solver
-	// profiles without improving the bound.
-	sort.SliceStable(s.order, func(a, b int) bool { return s.v[s.order[a]] < s.v[s.order[b]] })
+	// profiles without improving the bound. A hand-rolled stable insertion
+	// sort replaces sort.SliceStable: the K's here are small, the closure
+	// and reflection overhead of the generic sort dominated this function's
+	// profile, and a stable sort's output is unique, so the wave order (and
+	// the solver trajectory built on it) is bit-identical.
+	ord := s.order
+	for a := 1; a < kk; a++ {
+		x := ord[a]
+		vx := s.v[x]
+		b := a
+		for ; b > 0 && s.v[ord[b-1]] > vx; b-- {
+			ord[b] = ord[b-1]
+		}
+		ord[b] = x
+	}
+	// active is ord compacted in place as demands freeze: slacks never
+	// increase and a frozen v_k never moves, so a demand whose allowed raise
+	// once falls to zero can never progress in any later wave — dropping it
+	// is exact, not an approximation, and later waves touch only the demands
+	// still in play.
+	if cap(s.contrib) < n {
+		s.contrib = make([]int, n)
+	}
 	const maxWaves = 64
+	active := ord
 	for wave := 0; wave < maxWaves; wave++ {
 		progressed := false
-		for _, k := range s.order {
-			row := p.Assign[k]
-			// Next breakpoint strictly above v_k.
+		na := 0
+		for _, k := range active {
+			row := p.Row(k)
+			vk := s.v[k]
+			// One fused sweep: the next assignment-cost breakpoint strictly
+			// above v_k, and the minimum slack over contributing facilities
+			// (g_ki <= v_k), recorded in ascending order so the raise below
+			// touches only them. min() is order-free and the decrement order
+			// is unchanged, so nothing differs numerically from the
+			// historical full-row sweeps.
 			next := math.Inf(1)
-			for _, g := range row {
-				if g > s.v[k] && g < next {
-					next = g
+			minSlack := math.Inf(1)
+			nc := 0
+			for i, g := range row {
+				if g > vk {
+					if g < next {
+						next = g
+					}
+				} else {
+					if s.slack[i] < minSlack {
+						minSlack = s.slack[i]
+					}
+					s.contrib[nc] = i
+					nc++
 				}
 			}
-			// Max raise allowed by contributing facilities (g_ki <= v_k).
-			allowed := next - s.v[k]
-			for i, g := range row {
-				if g <= s.v[k] && s.slack[i] < allowed {
-					allowed = s.slack[i]
-				}
+			allowed := next - vk
+			if minSlack < allowed {
+				allowed = minSlack
 			}
 			if allowed <= 1e-15 || math.IsInf(allowed, 1) {
-				continue
+				continue // frozen for good; drops out of active
 			}
-			for i, g := range row {
-				if g <= s.v[k] {
-					s.slack[i] -= allowed
-					if s.slack[i] < 0 {
-						s.slack[i] = 0
-					}
+			for _, i := range s.contrib[:nc] {
+				s.slack[i] -= allowed
+				if s.slack[i] < 0 {
+					s.slack[i] = 0
 				}
 			}
-			s.v[k] += allowed
+			s.v[k] = vk + allowed
 			progressed = true
+			active[na] = k
+			na++
 		}
+		active = active[:na]
 		if !progressed {
 			break
 		}
@@ -525,7 +659,8 @@ func BruteForce(p *Problem) Solution {
 			}
 		}
 		assign := make([]int, kk)
-		for k, row := range p.Assign {
+		for k := 0; k < kk; k++ {
+			row := p.Row(k)
 			bi, bg := -1, math.Inf(1)
 			for i, g := range row {
 				if mask&(1<<i) != 0 && g < bg {

@@ -10,16 +10,13 @@ import (
 func randomProblem(rng *rand.Rand, n, k int, openScale float64) *Problem {
 	p := &Problem{
 		Open:   make([]float64, n),
-		Assign: make([][]float64, k),
+		Assign: make([]float64, k*n),
 	}
 	for i := range p.Open {
 		p.Open[i] = rng.Float64() * openScale
 	}
-	for kk := range p.Assign {
-		p.Assign[kk] = make([]float64, n)
-		for i := range p.Assign[kk] {
-			p.Assign[kk][i] = rng.Float64() * 10
-		}
+	for idx := range p.Assign {
+		p.Assign[idx] = rng.Float64() * 10
 	}
 	return p
 }
@@ -32,22 +29,22 @@ func solutionCost(p *Problem, s Solution) float64 {
 		openSet[i] = true
 	}
 	for k, i := range s.Assign {
-		c += p.Assign[k][i]
+		c += p.Row(k)[i]
 	}
 	_ = openSet
 	return c
 }
 
 func TestValidate(t *testing.T) {
-	good := &Problem{Open: []float64{1}, Assign: [][]float64{{2}}}
+	good := &Problem{Open: []float64{1}, Assign: []float64{2}}
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid problem rejected: %v", err)
 	}
 	bad := []*Problem{
 		{},
 		{Open: []float64{-1}},
-		{Open: []float64{1}, Assign: [][]float64{{1, 2}}},
-		{Open: []float64{1}, Assign: [][]float64{{-3}}},
+		{Open: []float64{1, 1}, Assign: []float64{1, 2, 3}},
+		{Open: []float64{1}, Assign: []float64{-3}},
 		{Open: []float64{math.NaN()}},
 	}
 	for i, p := range bad {
@@ -61,7 +58,7 @@ func TestSolveSingleFacility(t *testing.T) {
 	// Facility 1 is clearly best: free to open, cheap to serve.
 	p := &Problem{
 		Open:   []float64{5, 0, 5},
-		Assign: [][]float64{{10, 1, 10}, {10, 1, 10}},
+		Assign: []float64{10, 1, 10, 10, 1, 10},
 	}
 	var s Solver
 	sol := s.Solve(p)
@@ -80,9 +77,9 @@ func TestSolveOpensMultiple(t *testing.T) {
 	// Two demand clusters, each near its own facility; opening both wins.
 	p := &Problem{
 		Open: []float64{1, 1},
-		Assign: [][]float64{
-			{0, 100},
-			{100, 0},
+		Assign: []float64{
+			0, 100,
+			100, 0,
 		},
 	}
 	var s Solver
@@ -175,7 +172,7 @@ func TestDualAscentTightOnEasyInstances(t *testing.T) {
 	// reaches it exactly.
 	p := &Problem{
 		Open:   []float64{0, 0, 0},
-		Assign: [][]float64{{3, 1, 2}, {5, 9, 4}},
+		Assign: []float64{3, 1, 2, 5, 9, 4},
 	}
 	var s Solver
 	lb, _ := s.DualAscent(p)
@@ -202,8 +199,8 @@ func TestDualAscentFeasibility(t *testing.T) {
 		_, v := s.DualAscent(p)
 		for i := range p.Open {
 			var used float64
-			for k := range p.Assign {
-				if d := v[k] - p.Assign[k][i]; d > 0 {
+			for k := 0; k < p.NumDemands(); k++ {
+				if d := v[k] - p.Row(k)[i]; d > 0 {
 					used += d
 				}
 			}
@@ -249,6 +246,64 @@ func TestSolverReuse(t *testing.T) {
 	}
 	if ref := fresh.Solve(p1).Cost; math.Abs(ref-first) > 1e-9 {
 		t.Errorf("fresh solver gives %g, want %g", ref, first)
+	}
+}
+
+// SolveInto and SolveQuickInto must reuse out's backing arrays and agree with
+// the allocating wrappers, and a warm start may change the path taken but
+// never worsen correctness invariants (open set serves every demand).
+func TestSolveIntoReusesBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := randomProblem(rng, 8, 10, 3)
+	var s Solver
+	want := s.Solve(p)
+	var out Solution
+	s.SolveInto(p, &out)
+	if math.Abs(out.Cost-want.Cost) > 1e-12 {
+		t.Fatalf("SolveInto cost %g != Solve cost %g", out.Cost, want.Cost)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.SolveInto(p, &out)
+	})
+	if allocs != 0 {
+		t.Errorf("SolveInto allocates %g per run after warm-up, want 0", allocs)
+	}
+	var q Solution
+	s.SolveQuickInto(p, &q, nil)
+	allocs = testing.AllocsPerRun(20, func() {
+		s.SolveQuickInto(p, &q, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("SolveQuickInto allocates %g per run after warm-up, want 0", allocs)
+	}
+}
+
+func TestSolveQuickWarmStartValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(10)
+		p := randomProblem(rng, n, k, 5)
+		var s Solver
+		cold := s.SolveQuick(p)
+		warm := make([]int32, len(cold.Open))
+		for a, i := range cold.Open {
+			warm[a] = int32(i)
+		}
+		var out Solution
+		s.SolveQuickInto(p, &out, warm)
+		if recomputed := solutionCost(p, out); math.Abs(recomputed-out.Cost) > 1e-9 {
+			t.Fatalf("trial %d: warm-start cost %g != recomputed %g", trial, out.Cost, recomputed)
+		}
+		if len(out.Assign) != k {
+			t.Fatalf("trial %d: warm-start solution has %d assignments, want %d", trial, len(out.Assign), k)
+		}
+		// Seeding with the cold solution's own open set cannot be worse than
+		// the cold result: the first (cheapest-single) start is shared and
+		// local search only improves.
+		if out.Cost > cold.Cost+1e-9 {
+			t.Fatalf("trial %d: warm start worsened cost %g -> %g", trial, cold.Cost, out.Cost)
+		}
 	}
 }
 

@@ -53,6 +53,48 @@ type VideoDemand struct {
 	Agg []float64
 	// Conc[t][k] is f_j^m(t) for j = Js[k] and time slice t.
 	Conc [][]float64
+
+	// Sparse view of Conc in CSR form, built by NewInstance: for demand
+	// index k, the slices t with f_j^m(t) ≠ 0 are concT[concOff[k]:concOff[k+1]]
+	// (ascending) with matching values in concV. Most videos are active in
+	// only a few enforced slices, so the solver's hot kernels iterate these
+	// instead of scanning all of Conc.
+	concOff []int32
+	concT   []int32
+	concV   []float64
+}
+
+// ConcNZ returns the nonzero time slices for demand index k (ascending) and
+// their concurrency values, as parallel slices. Valid only on demands of an
+// Instance returned by NewInstance; callers must not modify the results.
+func (d *VideoDemand) ConcNZ(k int) (slices []int32, values []float64) {
+	lo, hi := d.concOff[k], d.concOff[k+1]
+	return d.concT[lo:hi:hi], d.concV[lo:hi:hi]
+}
+
+// buildConcCSR fills the sparse concurrency view from Conc.
+func (d *VideoDemand) buildConcCSR() {
+	K := len(d.Js)
+	d.concOff = make([]int32, K+1)
+	nz := 0
+	for _, row := range d.Conc {
+		for _, f := range row {
+			if f != 0 {
+				nz++
+			}
+		}
+	}
+	d.concT = make([]int32, 0, nz)
+	d.concV = make([]float64, 0, nz)
+	for k := 0; k < K; k++ {
+		for t, row := range d.Conc {
+			if f := row[k]; f != 0 {
+				d.concT = append(d.concT, int32(t))
+				d.concV = append(d.concV, f)
+			}
+		}
+		d.concOff[k+1] = int32(len(d.concT))
+	}
 }
 
 // TotalDemandGB returns s^m · Σ_j a_j^m, the total gigabytes requested.
@@ -87,7 +129,16 @@ type Instance struct {
 	// (nearest copy), used with UpdateWeight. Empty means office 0.
 	Origin []int32
 
-	hops [][]int16 // cached hop counts
+	hops []int16 // cached hop counts, row-major [i*n+j]
+
+	// costT is the dense transfer-cost matrix in j-major (destination-major)
+	// layout: costT[j*n+i] = c_ij = α|P_ij| + β. Block pricing walks a fixed
+	// destination j over all sources i, so the column layout keeps that scan
+	// contiguous. The table is lazily (re)built by CostColumns against the
+	// (Alpha, Beta) pair it was computed from, because tests and the verify
+	// harness mutate Alpha/Beta after NewInstance.
+	costT               []float64
+	costAlpha, costBeta float64
 }
 
 // NewInstance validates and finalizes an instance. The graph must be built;
@@ -148,6 +199,7 @@ func NewInstance(g *topology.Graph, diskGB, linkCapMbps []float64, slices int, d
 			}
 		}
 		totalSize += d.SizeGB
+		d.buildConcCSR()
 	}
 	var totalDisk float64
 	for _, d := range diskGB {
@@ -171,13 +223,37 @@ func NewInstance(g *topology.Graph, diskGB, linkCapMbps []float64, slices int, d
 
 func (inst *Instance) cacheHops() {
 	n := inst.G.NumNodes()
-	inst.hops = make([][]int16, n)
+	inst.hops = make([]int16, n*n)
 	for i := 0; i < n; i++ {
-		inst.hops[i] = make([]int16, n)
+		row := inst.hops[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			inst.hops[i][j] = int16(inst.G.Hops(i, j))
+			row[j] = int16(inst.G.Hops(i, j))
 		}
 	}
+}
+
+// CostColumns returns the dense j-major cost table: the returned slice has
+// length n², with entry [j*n+i] equal to Cost(i, j), computed by the same
+// expression so table lookups are bit-identical to direct calls. The table is
+// rebuilt if Alpha or Beta changed since the last call. Not safe for
+// concurrent mutation — callers obtain it once, serially, before fanning out
+// (the epf solver does so in newSolver), and must not modify the result.
+func (inst *Instance) CostColumns() []float64 {
+	n := inst.G.NumNodes()
+	if inst.costT != nil && inst.costAlpha == inst.Alpha && inst.costBeta == inst.Beta {
+		return inst.costT
+	}
+	if inst.costT == nil {
+		inst.costT = make([]float64, n*n)
+	}
+	for j := 0; j < n; j++ {
+		col := inst.costT[j*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			col[i] = inst.Alpha*float64(inst.hops[i*n+j]) + inst.Beta
+		}
+	}
+	inst.costAlpha, inst.costBeta = inst.Alpha, inst.Beta
+	return inst.costT
 }
 
 // NumVHOs returns |V|.
@@ -188,11 +264,11 @@ func (inst *Instance) NumVideos() int { return len(inst.Demands) }
 
 // Cost returns c_ij = α|P_ij| + β.
 func (inst *Instance) Cost(i, j int) float64 {
-	return inst.Alpha*float64(inst.hops[i][j]) + inst.Beta
+	return inst.Alpha*float64(inst.hops[i*inst.G.NumNodes()+j]) + inst.Beta
 }
 
 // Hops returns |P_ij| from the cached table.
-func (inst *Instance) Hops(i, j int) int { return int(inst.hops[i][j]) }
+func (inst *Instance) Hops(i, j int) int { return int(inst.hops[i*inst.G.NumNodes()+j]) }
 
 // originOf returns the origin office for video index vi under the update-cost
 // objective.

@@ -40,6 +40,11 @@ type Pool struct {
 	jobs    []chan job
 	live    sync.WaitGroup
 	closed  bool
+	// done is the fan-out completion barrier, a field rather than a Run
+	// local so the WaitGroup doesn't escape to the heap on every Run call —
+	// Run is on the solver's zero-allocation steady-state path. Safe because
+	// a Pool serializes fan-outs by contract.
+	done sync.WaitGroup
 }
 
 // New returns a pool with n workers; n < 1 selects runtime.NumCPU().
@@ -87,7 +92,6 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, lo, hi int)) erro
 		return nil
 	}
 	per := (n + p.workers - 1) / p.workers
-	var done sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		lo, hi := w*per, (w+1)*per
 		if hi > n {
@@ -96,10 +100,10 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, lo, hi int)) erro
 		if lo >= hi {
 			break
 		}
-		done.Add(1)
-		p.jobs[w] <- job{fn: fn, lo: lo, hi: hi, done: &done}
+		p.done.Add(1)
+		p.jobs[w] <- job{fn: fn, lo: lo, hi: hi, done: &p.done}
 	}
-	done.Wait()
+	p.done.Wait()
 	return nil
 }
 

@@ -1,0 +1,106 @@
+// Package prof wires the standard pprof/trace collectors into the CLIs.
+//
+// Every binary that runs the solver accepts the same three flags
+// (-cpuprofile, -memprofile, -traceprofile); Start opens whichever outputs
+// were requested and returns a single Stop to flush them on the way out.
+// Profiles are written with the stock runtime encoders, so the files feed
+// directly into `go tool pprof` and `go tool trace`.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three output paths. Empty means "don't collect".
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register installs the standard profiling flags on fs (the default
+// flag.CommandLine in the CLIs) and returns the destination struct to pass
+// to Start after fs has been parsed.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "traceprofile", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins whichever collectors f requests. The returned Stop must run
+// exactly once before the process exits (defer it right after a successful
+// Start); it stops the CPU profile and trace and takes the heap snapshot.
+// On error every partially opened collector is shut down before returning,
+// so the caller never has to clean up.
+func Start(f *Flags) (stop func() error, err error) {
+	var cleanup []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]() //nolint:errcheck // already failing; report the first error
+		}
+		return nil, err
+	}
+
+	if f.CPU != "" {
+		out, err := os.Create(f.CPU)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			out.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		cleanup = append(cleanup, func() error {
+			pprof.StopCPUProfile()
+			return out.Close()
+		})
+	}
+	if f.Trace != "" {
+		out, err := os.Create(f.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("traceprofile: %w", err))
+		}
+		if err := trace.Start(out); err != nil {
+			out.Close()
+			return fail(fmt.Errorf("traceprofile: %w", err))
+		}
+		cleanup = append(cleanup, func() error {
+			trace.Stop()
+			return out.Close()
+		})
+	}
+	if f.Mem != "" {
+		path := f.Mem
+		cleanup = append(cleanup, func() error {
+			out, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			// One final GC so the snapshot reflects live steady-state heap,
+			// not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				out.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return out.Close()
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			if err := cleanup[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -203,7 +203,7 @@ func (tr *tracker) bump(kind []float64, v float64) {
 	}
 }
 
-func (tr *tracker) addStream(path []int, rate float64) {
+func (tr *tracker) addStream(path []int32, rate float64) {
 	for _, l := range path {
 		tr.loads[l] += rate
 		tr.bump(tr.binPeak, tr.loads[l])
@@ -212,7 +212,7 @@ func (tr *tracker) addStream(path []int, rate float64) {
 	tr.bump(tr.binAgg, tr.agg)
 }
 
-func (tr *tracker) removeStream(path []int, rate float64) {
+func (tr *tracker) removeStream(path []int32, rate float64) {
 	for _, l := range path {
 		tr.loads[l] -= rate
 	}

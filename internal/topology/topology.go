@@ -29,9 +29,19 @@ type Graph struct {
 	links []Link
 	index map[Link]int
 	adj   [][]int // adj[u] = sorted neighbor node ids
-	// paths[i*n+j] = link ids on the fixed route i -> j (empty for i == j).
-	paths [][]int
-	built bool
+	// Routing table in CSR (compressed sparse row) form: the link ids on the
+	// fixed route i -> j are pathLinks[pathOff[i*n+j]:pathOff[i*n+j+1]], in
+	// path order (empty for i == j). One flat array instead of n² small
+	// slices keeps the solver's path walks on contiguous cache lines.
+	pathLinks []int32
+	pathOff   []int32 // len n*n+1
+	// Reverse incidence, also CSR: the ordered pairs p = i*n+j whose route
+	// uses directed link l are pairLinks[pairOff[l]:pairOff[l+1]], ascending.
+	// Incremental dual-pricing kernels use it to propagate a single link's
+	// price change to exactly the affected path sums.
+	pairLinks []int32
+	pairOff   []int32 // len NumLinks()+1
+	built     bool
 }
 
 // New returns an empty graph over n offices. Office ids are 0..n-1.
@@ -113,9 +123,11 @@ func (g *Graph) Build() error {
 	for u := range g.adj {
 		sort.Ints(g.adj[u])
 	}
-	g.paths = make([][]int, g.n*g.n)
+	g.pathOff = make([]int32, g.n*g.n+1)
+	g.pathLinks = g.pathLinks[:0]
 	parent := make([]int, g.n)
 	queue := make([]int, 0, g.n)
+	rev := make([]int32, 0, g.n)
 	for src := 0; src < g.n; src++ {
 		for i := range parent {
 			parent[i] = -1
@@ -136,30 +148,51 @@ func (g *Graph) Build() error {
 			if parent[dst] < 0 {
 				return fmt.Errorf("topology: graph %q is disconnected: node %d unreachable from %d", g.name, dst, src)
 			}
-			if dst == src {
-				g.paths[src*g.n+dst] = []int{}
-				continue
-			}
-			// Reconstruct src -> dst and record the directed links in that
-			// direction. Walk dst back to src, then reverse.
-			var rev []int
-			for v := dst; v != src; v = parent[v] {
-				u := parent[v]
-				id, ok := g.index[Link{u, v}]
-				if !ok {
-					return fmt.Errorf("topology: internal error: missing link (%d, %d)", u, v)
+			if dst != src {
+				// Reconstruct src -> dst and record the directed links in
+				// that direction. Walk dst back to src, then append reversed.
+				rev = rev[:0]
+				for v := dst; v != src; v = parent[v] {
+					u := parent[v]
+					id, ok := g.index[Link{u, v}]
+					if !ok {
+						return fmt.Errorf("topology: internal error: missing link (%d, %d)", u, v)
+					}
+					rev = append(rev, int32(id))
 				}
-				rev = append(rev, id)
+				for i := len(rev) - 1; i >= 0; i-- {
+					g.pathLinks = append(g.pathLinks, rev[i])
+				}
 			}
-			path := make([]int, len(rev))
-			for i := range rev {
-				path[i] = rev[len(rev)-1-i]
-			}
-			g.paths[src*g.n+dst] = path
+			g.pathOff[src*g.n+dst+1] = int32(len(g.pathLinks))
 		}
 	}
+	g.buildReverseIncidence()
 	g.built = true
 	return nil
+}
+
+// buildReverseIncidence fills pairLinks/pairOff from the routing table: for
+// every directed link, the ascending list of pairs whose path crosses it.
+func (g *Graph) buildReverseIncidence() {
+	L := len(g.links)
+	counts := make([]int32, L+1)
+	for _, l := range g.pathLinks {
+		counts[l+1]++
+	}
+	g.pairOff = counts
+	for l := 0; l < L; l++ {
+		g.pairOff[l+1] += g.pairOff[l]
+	}
+	g.pairLinks = make([]int32, len(g.pathLinks))
+	next := make([]int32, L)
+	copy(next, g.pairOff[:L])
+	for p := 0; p < g.n*g.n; p++ {
+		for _, l := range g.pathLinks[g.pathOff[p]:g.pathOff[p+1]] {
+			g.pairLinks[next[l]] = int32(p)
+			next[l]++
+		}
+	}
 }
 
 // mustBuild panics on Build failure; used by generators that construct
@@ -176,16 +209,41 @@ func (g *Graph) Built() bool { return g.built }
 
 // Path returns the link ids on the fixed route from serving office i to
 // requesting office j. The path is empty when i == j (local service uses no
-// backbone links). The caller must not modify the returned slice.
-func (g *Graph) Path(i, j int) []int {
+// backbone links). The caller must not modify the returned slice (it aliases
+// the shared CSR table).
+func (g *Graph) Path(i, j int) []int32 {
 	if !g.built {
 		panic("topology: Path before Build")
 	}
-	return g.paths[i*g.n+j]
+	p := i*g.n + j
+	return g.pathLinks[g.pathOff[p]:g.pathOff[p+1]:g.pathOff[p+1]]
+}
+
+// PathCSR exposes the raw routing table: links is the concatenation of every
+// path's link ids and off has length n²+1, so pair p = i*n+j occupies
+// links[off[p]:off[p+1]]. Hot kernels index this directly to avoid per-call
+// slice construction. Callers must not modify either slice.
+func (g *Graph) PathCSR() (links, off []int32) {
+	if !g.built {
+		panic("topology: PathCSR before Build")
+	}
+	return g.pathLinks, g.pathOff
+}
+
+// LinkPairs returns the ordered pairs p = i*n+j whose fixed route uses
+// directed link l, ascending. The caller must not modify the returned slice.
+func (g *Graph) LinkPairs(l int) []int32 {
+	if !g.built {
+		panic("topology: LinkPairs before Build")
+	}
+	return g.pairLinks[g.pairOff[l]:g.pairOff[l+1]:g.pairOff[l+1]]
 }
 
 // Hops returns |P_ij|, the hop count of the fixed route from i to j.
-func (g *Graph) Hops(i, j int) int { return len(g.Path(i, j)) }
+func (g *Graph) Hops(i, j int) int {
+	p := i*g.n + j
+	return int(g.pathOff[p+1] - g.pathOff[p])
+}
 
 // Diameter returns the maximum hop count over all ordered pairs.
 func (g *Graph) Diameter() int {

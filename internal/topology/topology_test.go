@@ -74,7 +74,7 @@ func TestPathBasics(t *testing.T) {
 	path := g.Path(0, 3)
 	at := 0
 	for _, l := range path {
-		lk := g.Link(l)
+		lk := g.Link(int(l))
 		if lk.From != at {
 			t.Fatalf("path link %v does not continue from node %d", lk, at)
 		}
@@ -162,10 +162,10 @@ func checkGraphInvariants(t *testing.T, g *Graph) {
 			}
 			at := i
 			for _, l := range path {
-				if l < 0 || l >= g.NumLinks() {
+				if int(l) < 0 || int(l) >= g.NumLinks() {
 					t.Fatalf("Path(%d,%d) has invalid link id %d", i, j, l)
 				}
-				lk := g.Link(l)
+				lk := g.Link(int(l))
 				if lk.From != at {
 					t.Fatalf("Path(%d,%d) link %v discontinuous at %d", i, j, lk, at)
 				}
@@ -277,7 +277,7 @@ func TestRandomTable(t *testing.T) {
 						t.Fatalf("no path %d→%d", i, j)
 					}
 					for _, l := range p {
-						if l < 0 || l >= g.NumLinks() {
+						if int(l) < 0 || int(l) >= g.NumLinks() {
 							t.Fatalf("path %d→%d uses invalid link %d", i, j, l)
 						}
 					}

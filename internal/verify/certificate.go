@@ -61,7 +61,7 @@ func CertifyLowerBound(inst *mip.Instance, rowDuals []float64) (float64, error) 
 				}
 				var sum float64
 				for _, l := range inst.G.Path(i, j) {
-					sum += linkDual(l, t)
+					sum += linkDual(int(l), t)
 				}
 				pathDual[t][i*n+j] = sum
 			}
@@ -88,14 +88,11 @@ func CertifyLowerBound(inst *mip.Instance, rowDuals []float64) (float64, error) 
 			lr += minF
 			continue
 		}
-		for len(prob.Assign) < K {
-			prob.Assign = append(prob.Assign, make([]float64, n))
-		}
-		prob.Assign = prob.Assign[:K]
+		prob.Reshape(K)
 		for k := 0; k < K; k++ {
 			j := int(d.Js[k])
 			coef := d.SizeGB * d.Agg[k]
-			row := prob.Assign[k]
+			row := prob.Row(k)
 			for i := 0; i < n; i++ {
 				c := coef * inst.Cost(i, j)
 				for t := 0; t < T; t++ {
@@ -132,8 +129,8 @@ func CertifyLowerBound(inst *mip.Instance, rowDuals []float64) (float64, error) 
 // involved). An infeasible proposal is a certificate failure.
 func checkedBlockBound(fs *facloc.Solver, prob *facloc.Problem) (float64, error) {
 	_, v := fs.DualAscent(prob)
-	if len(v) != len(prob.Assign) {
-		return 0, fmt.Errorf("dual ascent returned %d duals for %d demands", len(v), len(prob.Assign))
+	if len(v) != prob.NumDemands() {
+		return 0, fmt.Errorf("dual ascent returned %d duals for %d demands", len(v), prob.NumDemands())
 	}
 	var bound float64
 	for _, vk := range v {
@@ -141,8 +138,8 @@ func checkedBlockBound(fs *facloc.Solver, prob *facloc.Problem) (float64, error)
 	}
 	for i, F := range prob.Open {
 		var load, scale float64
-		for k, row := range prob.Assign {
-			if ex := v[k] - row[i]; ex > 0 {
+		for k := range v {
+			if ex := v[k] - prob.Row(k)[i]; ex > 0 {
 				load += ex
 			}
 			if a := math.Abs(v[k]); a > scale {

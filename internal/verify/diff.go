@@ -257,9 +257,9 @@ func uflCost(p *facloc.Problem, s facloc.Solution) float64 {
 		open[i] = true
 		cost += p.Open[i]
 	}
-	for _, row := range p.Assign {
+	for k := 0; k < p.NumDemands(); k++ {
 		best := math.Inf(1)
-		for i, c := range row {
+		for i, c := range p.Row(k) {
 			if open[i] && c < best {
 				best = c
 			}

@@ -117,17 +117,14 @@ func RandomUFL(seed int64, n, k int) *facloc.Problem {
 	rng := rand.New(rand.NewSource(seed))
 	p := &facloc.Problem{
 		Open:   make([]float64, n),
-		Assign: make([][]float64, k),
+		Assign: make([]float64, k*n),
 	}
 	for i := range p.Open {
 		p.Open[i] = rng.Float64() * 10
 	}
-	for kk := range p.Assign {
-		row := make([]float64, n)
-		for i := range row {
-			row[i] = rng.Float64() * 8
-		}
-		p.Assign[kk] = row
+	// Row-major fill preserves the historical rng draw order.
+	for idx := range p.Assign {
+		p.Assign[idx] = rng.Float64() * 8
 	}
 	return p
 }

@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output into the JSON
+// benchmark record committed as BENCH_epf.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/epf/ | go run ./tools/benchjson
+//	go test ... | go run ./tools/benchjson -baseline BENCH_epf.json
+//
+// With -baseline, the named file's "current" section is carried over as the
+// new record's "baseline", so re-running `make bench-json` after an
+// optimization automatically turns the previous numbers into the comparison
+// point and reports the speedup per benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: go test prints
+// "BenchmarkName-8  12  212022615 ns/op  3804413 B/op  144746 allocs/op".
+type Result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Record is the committed file layout: environment header, the run being
+// recorded, an optional baseline to compare against, and the derived
+// speedups (baseline ns/op divided by current ns/op).
+type Record struct {
+	Goos     string             `json:"goos,omitempty"`
+	Goarch   string             `json:"goarch,omitempty"`
+	Pkg      string             `json:"pkg,omitempty"`
+	CPU      string             `json:"cpu,omitempty"`
+	Current  map[string]Result  `json:"current"`
+	Baseline map[string]Result  `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "JSON record whose 'current' section becomes this record's baseline")
+	flag.Parse()
+
+	rec := Record{Current: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rec.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			// -count N repeats a benchmark; keep the fastest run, the
+			// standard way to suppress scheduling noise.
+			if prev, dup := rec.Current[name]; !dup || res.NsPerOp < prev.NsPerOp {
+				rec.Current[name] = res
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rec.Current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var prev Record
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+		}
+		rec.Baseline = prev.Current
+	}
+	if len(rec.Baseline) > 0 {
+		rec.Speedup = map[string]float64{}
+		for name, cur := range rec.Current {
+			if base, ok := rec.Baseline[name]; ok && cur.NsPerOp > 0 {
+				// Two decimals is plenty; full float64 ratios churn the
+				// committed file on every noise-level rerun.
+				rec.Speedup[name] = float64(int(base.NsPerOp/cur.NsPerOp*100+0.5)) / 100
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine splits one benchmark result row. The -benchmem columns are
+// optional; the name's "-8" GOMAXPROCS suffix is stripped so records taken
+// on different machines stay comparable keys.
+func parseLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return "", Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		}
+		if err != nil {
+			return "", Result{}, false
+		}
+	}
+	return name, res, true
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
