@@ -4,7 +4,11 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzNewInstance FuzzEPFSolve FuzzFacloc
 
-.PHONY: build vet test race check bench bench-json fuzz cover fmt
+# Fixed-seed instance for the telemetry smoke test; small enough to solve in
+# seconds, large enough for a nontrivial convergence trajectory.
+TRACE_SMOKE_ARGS := -videos 60 -vhos 8 -passes 40 -seed 1
+
+.PHONY: build vet test race check bench bench-json fuzz cover fmt trace-smoke trace-golden
 
 build:
 	$(GO) build ./...
@@ -46,6 +50,21 @@ fuzz:
 cover:
 	$(GO) test -shuffle=on -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
+
+# End-to-end telemetry gate: a seeded solve writes a JSONL trace, tracesum
+# audits the bound series for monotonicity (-check) and the reduced summary
+# must match the committed golden byte for byte. The summary contains only
+# deterministic fields, so this passes on any machine at any worker count.
+trace-smoke:
+	$(GO) run ./cmd/vodplace $(TRACE_SMOKE_ARGS) -trace-out trace-smoke.jsonl > /dev/null
+	$(GO) run ./tools/tracesum -check trace-smoke.jsonl > trace-smoke.out
+	diff -u testdata/trace_smoke.golden trace-smoke.out
+
+# Regenerate the committed smoke golden after an intentional solver or
+# trace-format change.
+trace-golden:
+	$(GO) run ./cmd/vodplace $(TRACE_SMOKE_ARGS) -trace-out trace-smoke.jsonl > /dev/null
+	$(GO) run ./tools/tracesum -check trace-smoke.jsonl > testdata/trace_smoke.golden
 
 fmt:
 	gofmt -l -w .

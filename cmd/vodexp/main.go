@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"vodplace/internal/experiments"
+	"vodplace/internal/obs"
 	"vodplace/internal/prof"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		doAud  = flag.Bool("verify", false, "re-check every solver result with the independent certificate auditor")
 	)
 	profFlags := prof.Register(flag.CommandLine)
+	obsFlags := obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -55,9 +57,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
 		os.Exit(1)
 	}
+	rec, obsStop, err := obs.Start(obsFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
+		profStop() //nolint:errcheck // already failing
+		os.Exit(1)
+	}
+	// Every exit path runs obsStop so an interrupted experiment still keeps
+	// its buffered trace.
 	exit := func(code int) {
+		if err := obsStop(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
 		if err := profStop(); err != nil {
 			fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 		os.Exit(code)
 	}
@@ -72,6 +91,7 @@ func main() {
 		MaxPasses:              *passes,
 		Quick:                  *quick,
 		Verify:                 *doAud,
+		Recorder:               rec,
 	}
 	// Ctrl-C / SIGTERM cancels the running experiment cooperatively.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,8 +114,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
 		exit(1)
 	}
-	if err := profStop(); err != nil {
-		fmt.Fprintf(os.Stderr, "vodexp: %v\n", err)
-		os.Exit(1)
-	}
+	exit(0)
 }

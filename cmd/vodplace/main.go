@@ -24,6 +24,7 @@ import (
 	"vodplace/internal/core"
 	"vodplace/internal/demand"
 	"vodplace/internal/epf"
+	"vodplace/internal/obs"
 	"vodplace/internal/prof"
 	"vodplace/internal/topology"
 	"vodplace/internal/verify"
@@ -45,6 +46,7 @@ func main() {
 		doAudit = flag.Bool("verify", false, "re-check the solution with the independent certificate auditor")
 	)
 	profFlags := prof.Register(flag.CommandLine)
+	obsFlags := obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	profStop, err := prof.Start(profFlags)
@@ -52,9 +54,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
 		os.Exit(1)
 	}
+	rec, obsStop, err := obs.Start(obsFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+		profStop() //nolint:errcheck // already failing
+		os.Exit(1)
+	}
+	// Every exit path runs obsStop so the trace sink is flushed even when the
+	// run was interrupted or the audit failed.
 	exit := func(code int) {
+		if err := obsStop(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
 		if err := profStop(); err != nil {
 			fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 		os.Exit(code)
 	}
@@ -84,11 +103,10 @@ func main() {
 	fmt.Printf("instance: %d offices, %d links, %d videos, %d time slices\n",
 		inst.NumVHOs(), g.NumLinks(), inst.NumVideos(), inst.Slices)
 
-	opts := epf.Options{Seed: *seed, MaxPasses: *passes}
+	opts := epf.Options{Seed: *seed, MaxPasses: *passes, Recorder: rec}
 	if *verbose {
 		opts.OnPass = func(pi epf.PassInfo) {
-			fmt.Printf("pass %3d  obj %12.1f  lb %12.1f  viol %6.3f%%\n",
-				pi.Pass, pi.Objective, pi.LowerBound, 100*pi.MaxViol)
+			fmt.Println(obs.PassRow(pi.Pass, pi.Objective, pi.LowerBound, pi.MaxViol))
 		}
 	}
 	// Ctrl-C / SIGTERM cancels the solve cooperatively: the solver stops at
@@ -158,8 +176,5 @@ func main() {
 			exit(1)
 		}
 	}
-	if err := profStop(); err != nil {
-		fmt.Fprintf(os.Stderr, "vodplace: %v\n", err)
-		os.Exit(1)
-	}
+	exit(0)
 }

@@ -20,6 +20,8 @@ import (
 	"vodplace/internal/core"
 	"vodplace/internal/epf"
 	"vodplace/internal/experiments"
+	"vodplace/internal/obs"
+	"vodplace/internal/prof"
 	"vodplace/internal/sim"
 )
 
@@ -36,7 +38,38 @@ func main() {
 		topK   = flag.Int("topk", 100, "K for the Top-K+LRU baseline")
 		origin = flag.Bool("origin", false, "also run LRU with 4 regional origin servers")
 	)
+	profFlags := prof.Register(flag.CommandLine)
+	obsFlags := obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	profStop, err := prof.Start(profFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodsim: %v\n", err)
+		os.Exit(1)
+	}
+	rec, obsStop, err := obs.Start(obsFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodsim: %v\n", err)
+		profStop() //nolint:errcheck // already failing
+		os.Exit(1)
+	}
+	// Every exit path runs obsStop so an interrupted comparison still keeps
+	// the buffered trace of the schemes that finished.
+	exit := func(code int) {
+		if err := obsStop(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodsim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		if err := profStop(); err != nil {
+			fmt.Fprintf(os.Stderr, "vodsim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	// Ctrl-C / SIGTERM cancels the MIP solves cooperatively.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -55,10 +88,13 @@ func main() {
 			name, r.MaxLinkMbps, r.TotalGBHop, 100*r.LocalFrac, r.MigratedVideos)
 	}
 
-	mipRun, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: epf.Options{Seed: *seed, MaxPasses: *passes}})
+	mipRun, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{
+		Solver:   epf.Options{Seed: *seed, MaxPasses: *passes, Recorder: rec},
+		Recorder: rec,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vodsim: mip: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	report("mip", mipRun.Sim)
 
@@ -70,10 +106,12 @@ func main() {
 		{"random+lfu", core.BaselineOptions{Policy: cache.LFU, Seed: *seed}},
 		{fmt.Sprintf("top%d+lru", *topK), core.BaselineOptions{Policy: cache.LRU, TopK: *topK, Seed: *seed}},
 	} {
+		b.opts.Recorder = rec
+		b.opts.Scheme = b.name
 		r, err := sc.Sys.RunBaseline(sc.Trace, b.opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vodsim: %s: %v\n", b.name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		report(b.name, r)
 	}
@@ -81,8 +119,9 @@ func main() {
 		r, err := sc.Sys.RunOriginLRU(sc.Trace, 4, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vodsim: origin: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		report("origin+lru", r)
 	}
+	exit(0)
 }

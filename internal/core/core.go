@@ -16,6 +16,7 @@ import (
 	"vodplace/internal/demand"
 	"vodplace/internal/epf"
 	"vodplace/internal/mip"
+	"vodplace/internal/obs"
 	"vodplace/internal/sim"
 	"vodplace/internal/topology"
 	"vodplace/internal/verify"
@@ -59,6 +60,13 @@ type MIPOptions struct {
 	// Verify runs the independent certificate auditor (internal/verify) on
 	// every per-period solution and fails the run on any violated claim.
 	Verify bool
+	// Recorder receives per-pass solver events (one stream per placement
+	// period), verify spans and per-bin simulator events. Defaults to
+	// Solver.Recorder so callers that already thread a recorder through the
+	// solver options get the pipeline events too.
+	Recorder *obs.Recorder
+	// Scheme names this run's simulator event stream. Default "mip".
+	Scheme string
 }
 
 func (o *MIPOptions) withDefaults() MIPOptions {
@@ -86,6 +94,12 @@ func (o *MIPOptions) withDefaults() MIPOptions {
 	}
 	if out.EvalFromDay <= 0 {
 		out.EvalFromDay = 9
+	}
+	if out.Recorder == nil {
+		out.Recorder = out.Solver.Recorder
+	}
+	if out.Scheme == "" {
+		out.Scheme = "mip"
 	}
 	return out
 }
@@ -149,12 +163,23 @@ func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIP
 			inst.UpdateWeight = o.UpdateWeight
 			inst.Origin = originsFromPinned(inst, prevPinned, n)
 		}
-		res, err := epf.SolveIntegerContext(ctx, inst, o.Solver)
+		// Each placement period traces as its own stream, so pass series from
+		// successive solves never interleave in one stream.
+		sopts := o.Solver
+		sopts.Recorder = o.Recorder
+		sopts.TraceStream = fmt.Sprintf("%s.day%02d", o.Scheme, day)
+		res, err := epf.SolveIntegerContext(ctx, inst, sopts)
 		if err != nil {
 			return nil, fmt.Errorf("core: solving day %d: %w", day, err)
 		}
 		if o.Verify {
-			if rep := verify.Audit(inst, res); !rep.Ok() {
+			sp := o.Recorder.StartSpan(sopts.TraceStream, "verify")
+			rep := verify.Audit(inst, res)
+			sp.End()
+			if !rep.Ok() {
+				// Flush before failing: the trace up to the rejected solve is
+				// exactly what the postmortem needs.
+				o.Recorder.Flush() //nolint:errcheck // already failing with the audit error
 				return nil, fmt.Errorf("core: day %d: %w", day, rep.Err())
 			}
 		}
@@ -180,6 +205,9 @@ func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIP
 		CachePolicy:    cache.LRU,
 		Seed:           o.Solver.Seed,
 		MetricsFromSec: int64(o.EvalFromDay) * workload.SecondsPerDay,
+		Recorder:       o.Recorder,
+		Scheme:         o.Scheme,
+		LinkCapMbps:    s.LinkCapMbps,
 	}
 	if o.CacheFraction == 0 {
 		cfg.CacheGB = nil
@@ -230,6 +258,10 @@ type BaselineOptions struct {
 	EvalFromDay int
 	// Seed drives the random assignment.
 	Seed int64
+	// Recorder receives per-bin simulator events; Scheme names the stream
+	// (default "baseline").
+	Recorder *obs.Recorder
+	Scheme   string
 }
 
 func (o *BaselineOptions) withDefaults() BaselineOptions {
@@ -242,6 +274,9 @@ func (o *BaselineOptions) withDefaults() BaselineOptions {
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
+	}
+	if out.Scheme == "" {
+		out.Scheme = "baseline"
 	}
 	return out
 }
@@ -266,6 +301,9 @@ func (s *System) RunBaseline(tr *workload.Trace, opts BaselineOptions) (*sim.Res
 		CachePolicy:    o.Policy,
 		Seed:           o.Seed,
 		MetricsFromSec: int64(o.EvalFromDay) * workload.SecondsPerDay,
+		Recorder:       o.Recorder,
+		Scheme:         o.Scheme,
+		LinkCapMbps:    s.LinkCapMbps,
 	}
 	return sim.Run(cfg, tr)
 }

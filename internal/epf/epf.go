@@ -44,6 +44,7 @@ import (
 
 	"vodplace/internal/facloc"
 	"vodplace/internal/mip"
+	"vodplace/internal/obs"
 	"vodplace/internal/par"
 )
 
@@ -86,6 +87,16 @@ type Options struct {
 	// OnPass, when non-nil, is invoked after every pass with progress
 	// information (used by the CLI tools for -v output).
 	OnPass func(PassInfo)
+	// Recorder, when non-nil, receives per-pass telemetry events, phase
+	// spans and live solver stats (see internal/obs). A nil recorder is the
+	// disabled state and costs one pointer test per pass; nothing recorded
+	// ever feeds back into the solve, so telemetry cannot change numerics.
+	Recorder *obs.Recorder
+	// TraceStream names this solve's event stream in the trace (default
+	// "epf"). Callers running several solves in one process — e.g. one per
+	// placement period — give each a distinct stream so their pass series
+	// don't interleave.
+	TraceStream string
 }
 
 // PassInfo reports solver progress after a pass.
@@ -123,6 +134,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.LBEvery <= 0 {
 		out.LBEvery = 1
+	}
+	if out.TraceStream == "" {
+		out.TraceStream = "epf"
 	}
 	return out
 }
@@ -240,10 +254,11 @@ type solver struct {
 
 	// Shared execution runtime: one pool per solve, per-worker scratch
 	// reused across all fan-outs, cancellation checked at chunk boundaries.
-	ctx     context.Context
-	pool    *par.Pool
-	scratch *par.Slots[workerScratch]
-	stats   Stats
+	ctx      context.Context
+	pool     *par.Pool
+	scratch  *par.Slots[workerScratch]
+	stats    Stats
+	runStart time.Time // descent start; trace events stamp elapsed ms from it
 
 	// Lagrangian evaluation buffers, indexed by block so reductions run in
 	// block order on the driver goroutine — the worker count never changes
@@ -320,6 +335,7 @@ func SolveContext(ctx context.Context, inst *mip.Instance, opts Options) (*Resul
 	}
 	defer s.close()
 	res := s.run(ctx)
+	s.finishTrace(res)
 	return res, ctx.Err()
 }
 
@@ -340,6 +356,7 @@ func SolveIntegerContext(ctx context.Context, inst *mip.Instance, opts Options) 
 	defer s.close()
 	res := s.run(ctx)
 	s.round(res)
+	s.finishTrace(res)
 	return res, ctx.Err()
 }
 
@@ -347,6 +364,7 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	if inst == nil {
 		return nil, fmt.Errorf("epf: nil instance")
 	}
+	initStart := time.Now()
 	o := opts.withDefaults()
 	s := &solver{
 		inst: inst,
@@ -405,6 +423,8 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	s.scratch = par.NewSlots[workerScratch](s.pool)
 	s.lbBuf = make([]float64, len(inst.Demands))
 	s.initSolution()
+	s.stats.InitTime = time.Since(initStart)
+	s.opts.Recorder.RecordSpan(s.opts.TraceStream, "init", s.stats.InitTime)
 	return s, nil
 }
 
@@ -423,9 +443,12 @@ func (s *solver) mergeStats() {
 	s.stats.Workers = s.pool.Workers()
 	s.stats.Polishes = s.polishes
 	s.stats.BlocksOptimized, s.stats.LBBlockSolves = 0, 0
+	s.stats.WarmStartTries, s.stats.WarmStartHits = 0, 0
 	s.scratch.Each(func(_ int, ws *workerScratch) {
 		s.stats.BlocksOptimized += ws.blocks
 		s.stats.LBBlockSolves += ws.lbBlocks
+		s.stats.WarmStartTries += ws.fs.WarmTries
+		s.stats.WarmStartHits += ws.fs.WarmHits
 	})
 	s.stats.ScratchAllocs, s.stats.ScratchReuses = s.scratch.Counts()
 }
@@ -846,6 +869,7 @@ func (s *solver) initDescent() {
 func (s *solver) run(ctx context.Context) *Result {
 	s.ctx = ctx
 	lpStart := time.Now()
+	s.runStart = lpStart
 	o := s.opts
 	s.initDescent()
 
@@ -871,6 +895,7 @@ passes:
 			s.haveUB = true
 		}
 		if s.done(o.Epsilon) {
+			s.recordPass(pass)
 			break
 		}
 
@@ -949,6 +974,7 @@ passes:
 			}
 			s.retargetB()
 			if s.done(o.Epsilon) {
+				s.recordPass(pass)
 				break
 			}
 		}
@@ -960,6 +986,7 @@ passes:
 				MaxViol: dc, Delta: s.delta, UpperBound: s.ub,
 			})
 		}
+		s.recordPass(pass)
 	}
 	if pass > o.MaxPasses {
 		pass = o.MaxPasses
@@ -972,8 +999,109 @@ passes:
 		s.recomputeState()
 	}
 	s.stats.LPTime = time.Since(lpStart)
+	s.opts.Recorder.RecordSpan(s.opts.TraceStream, "descent", s.stats.LPTime)
 	res = s.buildResult(pass, converged)
 	return res
+}
+
+// recordPass emits one per-pass telemetry event: the convergence state the
+// paper's figures plot (Φ, bounds, duality gap, link utilization) plus the
+// incrementally merged work counters, so a mid-run /progress snapshot shows
+// live totals rather than the zeros the pre-telemetry solver reported until
+// solve end. A nil recorder makes this a single pointer test; every field
+// except the elapsed-ms stamp is bit-identical across worker counts.
+func (s *solver) recordPass(pass int) {
+	rec := s.opts.Recorder
+	if !rec.Enabled() {
+		return
+	}
+	dc, r0 := s.maxCouplingViol()
+	lmax, lmean := s.linkUtil()
+	gap := 0.0
+	if s.lb > 1e-12 {
+		gap = (s.obj - s.lb) / s.lb
+	}
+	// JSON cannot carry +Inf: until an ε-feasible incumbent exists the upper
+	// bound is reported as 0 and the duality gap as −1 ("undefined").
+	ub, ubGap := 0.0, -1.0
+	if s.haveUB {
+		ub = s.ub
+		if s.lb > 1e-12 {
+			ubGap = (s.ub - s.lb) / s.lb
+		}
+	}
+	s.stats.Passes = pass
+	s.mergeStats()
+	rec.RecordEPFPass(obs.EPFPass{
+		Stream:       s.opts.TraceStream,
+		Pass:         pass,
+		Phi:          s.potential(r0),
+		Objective:    s.obj,
+		LowerBound:   s.lb,
+		UpperBound:   ub,
+		Gap:          gap,
+		UBGap:        ubGap,
+		MaxViol:      dc,
+		MaxLinkUtil:  lmax,
+		MeanLinkUtil: lmean,
+		Delta:        s.delta,
+		Blocks:       s.stats.BlocksOptimized,
+		WarmHits:     s.stats.WarmStartHits,
+		ElapsedMS:    float64(time.Since(s.runStart).Nanoseconds()) / 1e6,
+	})
+	rec.PublishKV("epf_stats."+s.opts.TraceStream, s.stats)
+}
+
+// potential evaluates the potential Φ(z) at the live α: the capacity rows'
+// exp(α(act_r/b_r − 1)) plus the objective row's exp(α·r_0) with
+// r_0 = obj/B − 1. Telemetry only — the descent itself never calls it.
+func (s *solver) potential(r0 float64) float64 {
+	phi := expClamp(s.alpha * r0)
+	for r := 0; r < s.rows; r++ {
+		phi += expClamp(s.alpha * (s.act[r]/s.b[r] - 1))
+	}
+	return phi
+}
+
+// linkUtil returns the max and mean utilization act_r/b_r over the link
+// rows (rows n .. rows−1). Zero when the instance has no time slices.
+func (s *solver) linkUtil() (lmax, lmean float64) {
+	nLinks := s.rows - s.n
+	if nLinks <= 0 {
+		return 0, 0
+	}
+	var sum float64
+	for r := s.n; r < s.rows; r++ {
+		u := s.act[r] / s.b[r]
+		if u > lmax {
+			lmax = u
+		}
+		sum += u
+	}
+	return lmax, sum / float64(nLinks)
+}
+
+// finishTrace emits the solve's summary event and forces the sink to disk.
+// It runs on every exit from the public entry points — converged, pass
+// budget exhausted, or cancelled — so a SIGINT'd run still keeps every
+// buffered pass event (flushing here is what makes partial traces
+// debuggable).
+func (s *solver) finishTrace(res *Result) {
+	rec := s.opts.Recorder
+	if !rec.Enabled() || res == nil {
+		return
+	}
+	rec.RecordEPFDone(obs.EPFDone{
+		Stream:     s.opts.TraceStream,
+		Passes:     res.Passes,
+		Objective:  res.Objective,
+		LowerBound: res.LowerBound,
+		Gap:        res.Gap,
+		Converged:  res.Converged,
+		Rounded:    res.Rounded,
+	})
+	rec.PublishKV("epf_stats."+s.opts.TraceStream, res.Stats)
+	rec.Flush() //nolint:errcheck // sink errors surface from the caller's Close
 }
 
 // Lower-bound scale-search multipliers (package-level so the pass loop

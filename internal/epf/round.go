@@ -139,6 +139,7 @@ func (s *solver) round(res *Result) {
 	}
 
 	s.stats.RoundTime = time.Since(roundStart)
+	s.opts.Recorder.RecordSpan(s.opts.TraceStream, "rounding", s.stats.RoundTime)
 	rounded := s.buildResult(res.Passes, res.Converged)
 	rounded.Rounded = true
 	*res = *rounded

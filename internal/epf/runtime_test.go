@@ -1,10 +1,12 @@
 package epf
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
 	"vodplace/internal/mip"
+	"vodplace/internal/obs"
 )
 
 // identicalSolutions reports whether two solutions are bit-identical:
@@ -44,9 +46,23 @@ func identicalSolutions(a, b *mip.Solution) bool {
 // changes the floating-point summation order, so the same seed must produce
 // bit-identical output at any parallelism.
 func TestSolveWorkerCountInvariance(t *testing.T) {
+	trace := func(workers int) (*Result, []obs.Event) {
+		var buf bytes.Buffer
+		rec := obs.New(&buf)
+		res := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+			Options{Seed: 5, MaxPasses: 30, Workers: workers, Recorder: rec})
+		if err := rec.Close(); err != nil {
+			t.Fatalf("recorder close: %v", err)
+		}
+		events, err := obs.ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("parse trace: %v", err)
+		}
+		return res, events
+	}
+	a, eventsA := trace(1)
 	for _, workers := range []int{2, 3, 8} {
-		a := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100), Options{Seed: 5, MaxPasses: 30, Workers: 1})
-		b := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100), Options{Seed: 5, MaxPasses: 30, Workers: workers})
+		b, eventsB := trace(workers)
 		if a.LowerBound != b.LowerBound {
 			t.Errorf("Workers=1 vs %d: lower bound %.17g vs %.17g", workers, a.LowerBound, b.LowerBound)
 		}
@@ -55,6 +71,29 @@ func TestSolveWorkerCountInvariance(t *testing.T) {
 		}
 		if !identicalSolutions(a.Sol, b.Sol) {
 			t.Errorf("Workers=1 vs %d: solutions differ", workers)
+		}
+		// The invariance extends to the whole traced convergence trajectory:
+		// every deterministic field of every pass event must match bit-exactly.
+		if len(eventsA) != len(eventsB) {
+			t.Errorf("Workers=1 vs %d: %d trace events vs %d", workers, len(eventsA), len(eventsB))
+			continue
+		}
+		for i := range eventsA {
+			ea, eb := eventsA[i], eventsB[i]
+			if ea.K != eb.K || ea.Pass != eb.Pass {
+				t.Errorf("Workers=1 vs %d: event %d is %s/%d vs %s/%d", workers, i, ea.K, ea.Pass, eb.K, eb.Pass)
+				continue
+			}
+			if ea.K != "epf_pass" {
+				continue
+			}
+			if ea.Phi != eb.Phi || ea.Objective != eb.Objective || ea.LowerBound != eb.LowerBound ||
+				ea.UpperBound != eb.UpperBound || ea.Gap != eb.Gap || ea.UBGap != eb.UBGap ||
+				ea.MaxViol != eb.MaxViol || ea.MaxLinkUtil != eb.MaxLinkUtil ||
+				ea.MeanLinkUtil != eb.MeanLinkUtil || ea.Delta != eb.Delta || ea.Blocks != eb.Blocks {
+				t.Errorf("Workers=1 vs %d: pass %d traced series diverges:\n  1: %+v\n  %d: %+v",
+					workers, ea.Pass, ea, workers, eb)
+			}
 		}
 	}
 }

@@ -35,12 +35,20 @@ type Stats struct {
 	LBEvals int64
 	// Polishes counts subgradient dual-polish rounds.
 	Polishes int
+	// WarmStartTries / WarmStartHits report the warm-start economy of the
+	// IncrementalPricing mode: block solves seeded from the video's previous
+	// open set, and the subset where that seed's local optimum beat the cold
+	// start. Both zero when the mode is off.
+	WarmStartTries int64
+	WarmStartHits  int64
 	// ScratchAllocs / ScratchReuses report the per-worker scratch economy:
 	// allocs should stay ≤ Workers, everything else lands in reuses.
 	ScratchAllocs int64
 	ScratchReuses int64
-	// LPTime is wall time in the fractional descent phase (including bound
-	// evaluations); RoundTime is wall time in the §V-D integer phase.
+	// InitTime is wall time in newSolver (buffers, cost table, initial
+	// point); LPTime is wall time in the fractional descent phase (including
+	// bound evaluations); RoundTime is wall time in the §V-D integer phase.
+	InitTime  time.Duration
 	LPTime    time.Duration
 	RoundTime time.Duration
 }
@@ -52,7 +60,11 @@ func (st Stats) String() string {
 	fmt.Fprintf(&b, "blocks optimized %d, lb block solves %d, lb evals %d, polish rounds %d\n",
 		st.BlocksOptimized, st.LBBlockSolves, st.LBEvals, st.Polishes)
 	fmt.Fprintf(&b, "dual refreshes %d, line searches %d\n", st.DualRefreshes, st.LineSearches)
+	if st.WarmStartTries > 0 {
+		fmt.Fprintf(&b, "warm starts: %d tried, %d won\n", st.WarmStartTries, st.WarmStartHits)
+	}
 	fmt.Fprintf(&b, "scratch: %d allocs, %d reuses\n", st.ScratchAllocs, st.ScratchReuses)
-	fmt.Fprintf(&b, "time: lp %.2fs, rounding %.2fs", st.LPTime.Seconds(), st.RoundTime.Seconds())
+	fmt.Fprintf(&b, "time: init %.2fs, lp %.2fs, rounding %.2fs",
+		st.InitTime.Seconds(), st.LPTime.Seconds(), st.RoundTime.Seconds())
 	return b.String()
 }

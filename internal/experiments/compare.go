@@ -76,13 +76,13 @@ func CompareSchemesContext(ctx context.Context, sc *Scenario) (*CompareResult, e
 			return r.Sim, nil
 		}},
 		{"random+lru", func() (*sim.Result, error) {
-			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, Seed: sc.Cfg.Seed})
+			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, Seed: sc.Cfg.Seed, Recorder: sc.Cfg.Recorder, Scheme: "random+lru"})
 		}},
 		{"random+lfu", func() (*sim.Result, error) {
-			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LFU, Seed: sc.Cfg.Seed})
+			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LFU, Seed: sc.Cfg.Seed, Recorder: sc.Cfg.Recorder, Scheme: "random+lfu"})
 		}},
 		{fmt.Sprintf("top%d+lru", topK), func() (*sim.Result, error) {
-			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, TopK: topK, Seed: sc.Cfg.Seed})
+			return sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, TopK: topK, Seed: sc.Cfg.Seed, Recorder: sc.Cfg.Recorder, Scheme: fmt.Sprintf("top%d+lru", topK)})
 		}},
 	}
 	results := make([]*sim.Result, len(schemes))
@@ -301,7 +301,7 @@ type Fig9Result struct {
 // Fig9Compute plays a Random+LRU run (half+ of disk as cache, as §VII-B's
 // LRU experiment describes) and extracts the cache pathologies.
 func Fig9Compute(sc *Scenario) (*Fig9Result, error) {
-	res, err := sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, Seed: sc.Cfg.Seed})
+	res, err := sc.Sys.RunBaseline(sc.Trace, core.BaselineOptions{Policy: cache.LRU, Seed: sc.Cfg.Seed, Recorder: sc.Cfg.Recorder, Scheme: "random+lru"})
 	if err != nil {
 		return nil, err
 	}

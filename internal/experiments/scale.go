@@ -102,7 +102,7 @@ func Table3Compute(ctx context.Context, cfg Config, epfSizes, lpSizes []int) ([]
 					return nil, fmt.Errorf("table3: building %d-video instance: %w", videos, err)
 				}
 				elapsed, allocMB := measure(func() {
-					res, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+					res, err := epf.SolveIntegerContext(ctx, inst, c.solver())
 					if err != nil {
 						panic(err)
 					}
@@ -127,7 +127,7 @@ func Table3Compute(ctx context.Context, cfg Config, epfSizes, lpSizes []int) ([]
 		}
 		// EPF on the identical instance, for the speedup column.
 		epfT, _ := measure(func() {
-			res, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+			res, err := epf.SolveIntegerContext(ctx, inst, c.solver())
 			if err != nil {
 				panic(err)
 			}
@@ -267,14 +267,14 @@ func RoundingCompute(ctx context.Context, cfg Config, sizes []int) ([]RoundingRo
 		if err != nil {
 			return nil, err
 		}
-		frac, err := epf.SolveContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+		frac, err := epf.SolveContext(ctx, inst, c.solver())
 		if err != nil {
 			return nil, err
 		}
 		if err := c.audit(inst, frac); err != nil {
 			return nil, err
 		}
-		rounded, err := epf.SolveIntegerContext(ctx, inst, epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses})
+		rounded, err := epf.SolveIntegerContext(ctx, inst, c.solver())
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@ import (
 	"vodplace/internal/core"
 	"vodplace/internal/epf"
 	"vodplace/internal/mip"
+	"vodplace/internal/obs"
 	"vodplace/internal/topology"
 	"vodplace/internal/verify"
 	"vodplace/internal/workload"
@@ -47,6 +48,9 @@ type Config struct {
 	// Verify re-checks every solver result with the independent certificate
 	// auditor (internal/verify) and fails loudly on any violated claim.
 	Verify bool
+	// Recorder threads the telemetry layer (internal/obs) through every
+	// solver and simulator run an experiment performs. nil disables it.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -99,7 +103,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) solver() epf.Options {
-	return epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses}
+	return epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses, Recorder: c.Recorder}
 }
 
 // audit re-checks res against inst with the independent certificate auditor

@@ -108,6 +108,14 @@ type Solution struct {
 // Solver carries reusable scratch space. A zero Solver is ready to use; it
 // is not safe for concurrent use — use one Solver per goroutine.
 type Solver struct {
+	// WarmTries / WarmHits count SolveQuickInto calls that received a warm
+	// open set, and the subset where the warm start's local optimum beat the
+	// cold first start. Plain counters (no atomics): each Solver instance is
+	// single-goroutine by contract; the epf solver keeps one per worker and
+	// folds these into its Stats on the driver goroutine.
+	WarmTries int64
+	WarmHits  int64
+
 	best1, best2 []float64 // cheapest and second-cheapest open assignment per k
 	bestI        []int     // facility achieving best1
 	bestI2       []int     // facility achieving best2
@@ -357,6 +365,7 @@ func (s *Solver) SolveQuickInto(p *Problem, out *Solution, warm []int32) {
 		s.open[i] = false
 	}
 	if len(warm) > 0 {
+		s.WarmTries++
 		s.nOpen = 0
 		for _, i := range warm {
 			if !s.open[i] {
@@ -373,7 +382,11 @@ func (s *Solver) SolveQuickInto(p *Problem, out *Solution, warm []int32) {
 	s.rebuildOpenList()
 	s.refreshBests(p)
 	s.localSearch(p, false)
-	if cost1 <= s.openSetCost(p) {
+	cost2 := s.openSetCost(p)
+	if len(warm) > 0 && cost2 < cost1 {
+		s.WarmHits++
+	}
+	if cost1 <= cost2 {
 		copy(s.open, open1)
 		s.nOpen = nOpen1
 		s.rebuildOpenList()

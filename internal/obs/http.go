@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"vodplace/internal/prof"
+)
+
+// ServeDebug starts the live introspection endpoint on addr (e.g.
+// "localhost:6060") serving:
+//
+//	/debug/vars    — the process expvar namespace (Publish a registry first)
+//	/debug/pprof/* — live profiling via internal/prof
+//	/progress      — the recorder's live JSON snapshot
+//
+// It listens before returning, so a caller that gets a nil error can curl
+// the address immediately; the server then runs on a background goroutine
+// until the returned shutdown function is called. r may be nil, in which
+// case /progress serves an empty object.
+func ServeDebug(addr string, r *Recorder) (shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	prof.Routes(mux)
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := r.ProgressJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b) //nolint:errcheck // nothing useful to do on a client hangup
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return func() error {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Metrics is a small counter/gauge/histogram registry. Instruments are
+// created on first use and live in the registry's own expvar.Map, which
+// stays private until Publish exports it into the process-global expvar
+// namespace — so tests and libraries can use registries freely without
+// colliding on expvar's global, panic-on-duplicate Publish.
+type Metrics struct {
+	mu    sync.Mutex
+	vars  *expvar.Map
+	hists map[string]*Histogram
+}
+
+// NewMetrics returns an empty, unpublished registry.
+func NewMetrics() *Metrics {
+	return &Metrics{vars: new(expvar.Map).Init(), hists: make(map[string]*Histogram)}
+}
+
+var publishMu sync.Mutex
+
+// Publish exports the registry under namespace in the process-global expvar
+// map (served at /debug/vars). Publishing the same namespace twice is a
+// no-op rather than the panic expvar.Publish would raise.
+func (m *Metrics) Publish(namespace string) {
+	if m == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(namespace) == nil {
+		expvar.Publish(namespace, m.vars)
+	}
+}
+
+// Counter returns the named monotone counter, creating it on first use.
+// On a nil registry it returns a throwaway instrument so call sites never
+// nil-check.
+func (m *Metrics) Counter(name string) *expvar.Int {
+	if m == nil {
+		return new(expvar.Int)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.vars.Get(name).(*expvar.Int); ok {
+		return v
+	}
+	v := new(expvar.Int)
+	m.vars.Set(name, v)
+	return v
+}
+
+// Gauge returns the named float gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *expvar.Float {
+	if m == nil {
+		return new(expvar.Float)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.vars.Get(name).(*expvar.Float); ok {
+		return v
+	}
+	v := new(expvar.Float)
+	m.vars.Set(name, v)
+	return v
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return new(Histogram)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.hists[name]; ok {
+		return h
+	}
+	h := new(Histogram)
+	m.hists[name] = h
+	m.vars.Set(name, h)
+	return h
+}
+
+// String renders the whole registry as the expvar.Map JSON (also what
+// /debug/vars serves for the published namespace).
+func (m *Metrics) String() string {
+	if m == nil {
+		return "{}"
+	}
+	return m.vars.String()
+}
+
+// histBuckets is the fixed bucket count of Histogram: power-of-two buckets
+// spanning ~2^-32 .. 2^31, which covers sub-microsecond spans through
+// multi-week millisecond counts without configuration.
+const histBuckets = 64
+
+// Histogram is a log2-bucketed histogram of nonnegative float64
+// observations (negative and non-finite samples are dropped). Bucket b
+// holds values in (2^(b-33), 2^(b-32)], so quantiles reported by String are
+// bucket upper bounds — accurate to a factor of 2, plenty for spotting a
+// pass that takes 8× the median, which is what it exists for. Observations
+// are mutex-guarded; instrumented sites observe at most once per descent
+// pass or simulator bin, far off any hot path. The zero value is ready to
+// use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// bucketOf maps v to its bucket index via the binary exponent.
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	b := exp + 32
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest sample recorded (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest sample recorded (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]):
+// the upper edge of the bucket holding the q-th sample.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.buckets[b]
+		if seen >= rank {
+			return math.Ldexp(1, b-32) // upper edge 2^(b-32)
+		}
+	}
+	return h.max
+}
+
+// String implements expvar.Var: a JSON summary with approximate quantiles.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return `{"count":0}`
+	}
+	b := make([]byte, 0, 160)
+	b = append(b, `{"count":`...)
+	b = strconv.AppendInt(b, h.count, 10)
+	b = appendFloat(b, `,"sum":`, h.sum)
+	b = appendFloat(b, `,"mean":`, h.sum/float64(h.count))
+	b = appendFloat(b, `,"min":`, h.min)
+	b = appendFloat(b, `,"max":`, h.max)
+	b = appendFloat(b, `,"p50":`, h.quantileLocked(0.50))
+	b = appendFloat(b, `,"p90":`, h.quantileLocked(0.90))
+	b = appendFloat(b, `,"p99":`, h.quantileLocked(0.99))
+	b = append(b, '}')
+	return string(b)
+}

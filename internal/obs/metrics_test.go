@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPublishIdempotent pins the double-publish contract: expvar.Publish
+// panics on a duplicate name, Metrics.Publish must not — the first registry
+// wins and later calls are no-ops.
+func TestPublishIdempotent(t *testing.T) {
+	m1 := NewMetrics()
+	m1.Counter("wins").Set(7)
+	m1.Publish("obs_test_ns")
+	m2 := NewMetrics()
+	m2.Counter("wins").Set(99)
+	m2.Publish("obs_test_ns") // must not panic, must not replace m1
+
+	got, ok := expvar.Get("obs_test_ns").(*expvar.Map)
+	if !ok {
+		t.Fatal("namespace not published as a map")
+	}
+	if v, ok := got.Get("wins").(*expvar.Int); !ok || v.Value() != 7 {
+		t.Fatalf("published registry was replaced: wins = %v", got.Get("wins"))
+	}
+}
+
+// TestInstrumentIdentity pins create-on-first-use: the same name always
+// returns the same instrument, so increments from different call sites
+// accumulate in one place.
+func TestInstrumentIdentity(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("c") != m.Counter("c") {
+		t.Error("Counter returned distinct instruments for one name")
+	}
+	if m.Gauge("g") != m.Gauge("g") {
+		t.Error("Gauge returned distinct instruments for one name")
+	}
+	if m.Histogram("h") != m.Histogram("h") {
+		t.Error("Histogram returned distinct instruments for one name")
+	}
+	// Nil registry: throwaway instruments, never nil, never shared state.
+	var nilM *Metrics
+	nilM.Counter("c").Add(1)
+	nilM.Gauge("g").Set(1)
+	nilM.Histogram("h").Observe(1)
+	if nilM.String() != "{}" {
+		t.Errorf("nil registry String = %q", nilM.String())
+	}
+}
+
+// TestHistogram pins the log2-bucket semantics: quantiles are bucket upper
+// edges (power of two at or above the sample), non-finite and negative
+// samples are dropped, and the summary JSON is well-formed.
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		h.Observe(v)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("invalid samples were counted: %d", h.Count())
+	}
+	// 100 samples at 3.0 → every quantile lands in bucket (2,4], upper edge 4.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	h.Observe(1000) // one outlier → p99 still 4, max exact
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("p50 = %v, want 4 (upper edge of (2,4])", got)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("p99 = %v, want 4", got)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Errorf("p100 = %v, want 1024 (upper edge of (512,1024])", got)
+	}
+	if h.Count() != 101 || h.Sum() != 1300 {
+		t.Errorf("count %d sum %v, want 101 / 1300", h.Count(), h.Sum())
+	}
+	var summary struct {
+		Count int64   `json:"count"`
+		Min   float64 `json:"min"`
+		Max   float64 `json:"max"`
+		P50   float64 `json:"p50"`
+	}
+	if err := json.Unmarshal([]byte(h.String()), &summary); err != nil {
+		t.Fatalf("String() is not valid JSON: %v\n%s", err, h.String())
+	}
+	if summary.Count != 101 || summary.Min != 3 || summary.Max != 1000 || summary.P50 != 4 {
+		t.Errorf("summary = %+v", summary)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from several goroutines; the
+// race detector vets the locking and the final count must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per + i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Min() != 1 || h.Max() != workers*per {
+		t.Fatalf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), workers*per)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// regression tests skip under -race: the detector's shadow-memory
+// bookkeeping allocates and would make AllocsPerRun counts meaningless.
+const raceEnabled = true

@@ -10,6 +10,8 @@ package prof
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,6 +34,18 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
 	fs.StringVar(&f.Trace, "traceprofile", "", "write a runtime execution trace to this file")
 	return f
+}
+
+// Routes installs the live pprof handlers (/debug/pprof/*) on mux. The
+// debug HTTP endpoint uses its own mux rather than http.DefaultServeMux,
+// so the handlers net/http/pprof registers on import never become
+// reachable by accident; this wires them explicitly.
+func Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 }
 
 // Start begins whichever collectors f requests. The returned Stop must run

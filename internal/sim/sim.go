@@ -21,6 +21,7 @@ import (
 	"vodplace/internal/cache"
 	"vodplace/internal/catalog"
 	"vodplace/internal/mip"
+	"vodplace/internal/obs"
 	"vodplace/internal/topology"
 	"vodplace/internal/workload"
 )
@@ -56,6 +57,17 @@ type Config struct {
 	// and maxima (the paper warms caches for nine days before measuring).
 	// Bin series still cover the whole horizon.
 	MetricsFromSec int64
+	// Recorder, when non-nil, receives one telemetry event per completed
+	// metric bin (hit rate, evictions, offered load vs. capacity). Telemetry
+	// never feeds back into the simulation.
+	Recorder *obs.Recorder
+	// Scheme names this run's event stream in the trace (default "sim");
+	// comparison runs label each scheme so their bin series stay separate.
+	Scheme string
+	// LinkCapMbps, when it has one entry per link, lets traced runs report
+	// per-bin offered/capacity utilization; the simulator itself never
+	// enforces capacities.
+	LinkCapMbps []float64
 }
 
 // Update is a placement change at a point in simulated time.
@@ -147,6 +159,13 @@ type tracker struct {
 	binPeak []float64
 	binAgg  []float64
 	binGB   []float64
+	// Telemetry extras, active only for traced runs: caps enables per-bin
+	// peak utilization tracking (loads[l]/caps[l]), and onBin fires once per
+	// completed bin with its final series values — the per-time-slice hook
+	// the recorder attaches to.
+	caps    []float64
+	curUtil float64
+	onBin   func(bin int, startSec int64, peak, agg, gb, util float64)
 }
 
 func newTracker(links int, bins int, binSec int64) *tracker {
@@ -169,17 +188,27 @@ func (tr *tracker) advance(t int64) {
 			break
 		}
 		tr.accumulate(binEnd)
+		if tr.onBin != nil && tr.curBin < len(tr.binPeak) {
+			tr.onBin(tr.curBin, int64(tr.curBin)*tr.binSec,
+				tr.binPeak[tr.curBin], tr.binAgg[tr.curBin], tr.binGB[tr.curBin], tr.curUtil)
+		}
 		tr.curBin++
 		if tr.curBin < len(tr.binPeak) {
 			// Carried-over load seeds the new bin's peaks.
-			var maxLoad float64
-			for _, l := range tr.loads {
-				if l > maxLoad {
-					maxLoad = l
+			var maxLoad, maxUtil float64
+			for l, ld := range tr.loads {
+				if ld > maxLoad {
+					maxLoad = ld
+				}
+				if tr.caps != nil && tr.caps[l] > 0 {
+					if u := ld / tr.caps[l]; u > maxUtil {
+						maxUtil = u
+					}
 				}
 			}
 			tr.binPeak[tr.curBin] = maxLoad
 			tr.binAgg[tr.curBin] = tr.agg
+			tr.curUtil = maxUtil
 		}
 	}
 	tr.accumulate(t)
@@ -207,6 +236,11 @@ func (tr *tracker) addStream(path []int32, rate float64) {
 	for _, l := range path {
 		tr.loads[l] += rate
 		tr.bump(tr.binPeak, tr.loads[l])
+		if tr.caps != nil && tr.caps[l] > 0 {
+			if u := tr.loads[l] / tr.caps[l]; u > tr.curUtil {
+				tr.curUtil = u
+			}
+		}
 	}
 	tr.agg += rate * float64(len(path))
 	tr.bump(tr.binAgg, tr.agg)
@@ -296,6 +330,51 @@ func Run(cfg Config, tr *workload.Trace) (*Result, error) {
 			caches[i].OnEvict = func(video int) {
 				cachedAt[video].clear(i)
 			}
+		}
+	}
+
+	// Per-bin telemetry: fire one SimSlice per completed bin, with counter
+	// fields reported as deltas against the previous bin so each slice
+	// stands alone. Attached only for traced runs, so the untraced simulator
+	// pays nothing beyond a nil check per bin crossing.
+	if cfg.Recorder.Enabled() {
+		scheme := cfg.Scheme
+		if scheme == "" {
+			scheme = "sim"
+		}
+		if len(cfg.LinkCapMbps) == cfg.G.NumLinks() {
+			track.caps = cfg.LinkCapMbps
+		}
+		var prev Result
+		prevEvict := 0
+		track.onBin = func(bin int, startSec int64, peak, agg, gb, util float64) {
+			evict := 0
+			for _, c := range caches {
+				evict += c.Stats().Evicted
+			}
+			reqD := res.Requests - prev.Requests
+			remoteD := res.RemoteServed - prev.RemoteServed
+			hit := 0.0
+			if reqD > 0 {
+				hit = float64(reqD-remoteD) / float64(reqD)
+			}
+			cfg.Recorder.RecordSimSlice(obs.SimSlice{
+				Stream:       scheme,
+				Bin:          bin,
+				StartSec:     startSec,
+				PeakMbps:     peak,
+				MaxUtil:      util,
+				AggMbps:      agg,
+				GBHop:        gb,
+				Requests:     reqD,
+				PinnedHits:   res.PinnedHits - prev.PinnedHits,
+				CacheHits:    res.CacheHits - prev.CacheHits,
+				RemoteServed: remoteD,
+				Evictions:    evict - prevEvict,
+				HitRate:      hit,
+			})
+			prev = *res
+			prevEvict = evict
 		}
 	}
 
@@ -462,6 +541,9 @@ func Run(cfg Config, tr *workload.Trace) (*Result, error) {
 		res.LocalFrac = float64(localServed) / float64(res.Requests)
 		res.HitRate = res.LocalFrac
 	}
+	// Push buffered slice events out at run end so an interrupted caller
+	// (SIGINT between scheme runs) still sees every completed bin.
+	cfg.Recorder.Flush() //nolint:errcheck // sink errors surface from the caller's Close
 	return res, nil
 }
 
