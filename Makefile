@@ -31,14 +31,20 @@ check: build vet race
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Refresh the committed EPF hot-path benchmark record. The old file's
-# numbers roll over into the new record's "baseline" section, so after an
-# optimization BENCH_epf.json answers "what did this change buy" per
-# benchmark. -count 3 with best-of selection suppresses scheduler noise.
+# Refresh the committed benchmark records. The old files' numbers roll over
+# into the new records' "baseline" sections, so after an optimization each
+# BENCH_*.json answers "what did this change buy" per benchmark. -count 3
+# with best-of selection suppresses scheduler noise. BENCH_epf.json covers
+# the solver hot paths; BENCH_pipeline.json covers the week-long multi-period
+# pipeline (BenchmarkRunMIPWeekCold vs ...Warm — the cross-period warm-start
+# headline is their ns/op ratio).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/epf/ \
 		| $(GO) run ./tools/benchjson -baseline BENCH_epf.json > BENCH_epf.json.tmp
 	mv BENCH_epf.json.tmp BENCH_epf.json
+	$(GO) test -run '^$$' -bench RunMIPWeek -benchmem -count 3 ./internal/core/ \
+		| $(GO) run ./tools/benchjson -baseline BENCH_pipeline.json > BENCH_pipeline.json.tmp
+	mv BENCH_pipeline.json.tmp BENCH_pipeline.json
 
 # go test accepts a single -fuzz pattern per invocation, so budgeted runs
 # loop over the targets explicitly.

@@ -35,8 +35,10 @@ func main() {
 		link   = flag.Float64("link", 0, "uniform link capacity in Mb/s (default 1000)")
 		seed   = flag.Int64("seed", 0, "random seed (default 1)")
 		passes = flag.Int("passes", 0, "solver pass cap (default 80)")
+		eps    = flag.Float64("eps", 0, "solver convergence tolerance (default: solver's)")
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		doAud  = flag.Bool("verify", false, "re-check every solver result with the independent certificate auditor")
+		warm   = flag.Bool("warm", false, "seed each placement period's solve from the previous period's final state (cross-period warm starts)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	obsFlags := obs.Register(flag.CommandLine)
@@ -89,8 +91,10 @@ func main() {
 		LinkCapMbps:            *link,
 		Seed:                   *seed,
 		MaxPasses:              *passes,
+		Epsilon:                *eps,
 		Quick:                  *quick,
 		Verify:                 *doAud,
+		Warm:                   *warm,
 		Recorder:               rec,
 	}
 	// Ctrl-C / SIGTERM cancels the running experiment cooperatively.

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkRunMIPWeek measures the full §VI-C daily re-placement pipeline —
+// demand build, EPF solve, rounding and simulation for each day of a week —
+// cold (every day from scratch) versus warm (each day seeded from the
+// previous day's final solver state). The pair is the headline number for
+// cross-period warm starts: identical work, the warm variant converging in a
+// fraction of the passes. Recorded in BENCH_pipeline.json by `make
+// bench-json`.
+func benchmarkRunMIPWeek(b *testing.B, warm bool) {
+	s, tr := warmSystem(b)
+	opts := warmOptions()
+	opts.Warm = warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := s.RunMIP(tr, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var passes int
+		for _, p := range run.Plans {
+			passes += p.Result.Passes
+		}
+		b.ReportMetric(float64(passes), "passes/op")
+	}
+}
+
+func BenchmarkRunMIPWeekCold(b *testing.B) { benchmarkRunMIPWeek(b, false) }
+func BenchmarkRunMIPWeekWarm(b *testing.B) { benchmarkRunMIPWeek(b, true) }

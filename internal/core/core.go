@@ -17,6 +17,7 @@ import (
 	"vodplace/internal/epf"
 	"vodplace/internal/mip"
 	"vodplace/internal/obs"
+	"vodplace/internal/par"
 	"vodplace/internal/sim"
 	"vodplace/internal/topology"
 	"vodplace/internal/verify"
@@ -55,6 +56,16 @@ type MIPOptions struct {
 	EvalFromDay int
 	// UpdateWeight is w in objective (11): the cost of migrating copies.
 	UpdateWeight float64
+	// Warm threads each period's final solver state into the next period's
+	// solve (epf.Options.Warm ← previous epf.Result.Warm): initial point,
+	// lower-bound duals, penalty scale and facility-location seeds all carry
+	// over, keyed by stable video IDs so catalog churn falls back per video
+	// to the cold init. Successive daily instances differ only marginally,
+	// so warm solves converge in a fraction of the cold pass count. Opt-in
+	// because, like epf.Options.IncrementalPricing, it changes floating-point
+	// trajectories (never correctness: every warm solve's bound is
+	// re-certified on its own instance). The first period always runs cold.
+	Warm bool
 	// Solver configures the EPF solver.
 	Solver epf.Options
 	// Verify runs the independent certificate auditor (internal/verify) on
@@ -152,10 +163,28 @@ func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIP
 		},
 	}
 
+	var days []int
+	for day := o.FirstPlacementDay; day < tr.Days; day += o.UpdateEveryDays {
+		days = append(days, day)
+	}
+
+	// Instance building is pipelined one period ahead of the solves: the
+	// producer goroutine builds day d+1's instance while day d solves.
+	// Builder.Instance reads only the trace, library and built graph (all
+	// immutable here), so the overlap is race-free, and instances are
+	// produced strictly in day order, so numerics are identical to the old
+	// serial loop. The per-period mutations (update objective below) happen
+	// on this goroutine after the handoff.
+	pre := par.NewPrefetch(ctx, len(days), func(i int) (*mip.Instance, error) {
+		return builder.Instance(tr, days[i])
+	})
+	defer pre.Close()
+
 	run := &MIPRun{}
 	var prevPinned [][]int
-	for day := o.FirstPlacementDay; day < tr.Days; day += o.UpdateEveryDays {
-		inst, err := builder.Instance(tr, day)
+	var warm *epf.WarmState
+	for _, day := range days {
+		inst, err := pre.Next()
 		if err != nil {
 			return nil, fmt.Errorf("core: building instance for day %d: %w", day, err)
 		}
@@ -168,10 +197,17 @@ func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIP
 		sopts := o.Solver
 		sopts.Recorder = o.Recorder
 		sopts.TraceStream = fmt.Sprintf("%s.day%02d", o.Scheme, day)
+		if o.Warm {
+			sopts.Warm = warm // nil on the first period: cold start
+		}
 		res, err := epf.SolveIntegerContext(ctx, inst, sopts)
 		if err != nil {
 			return nil, fmt.Errorf("core: solving day %d: %w", day, err)
 		}
+		if o.Warm {
+			warm = res.Warm
+		}
+		recordPeriod(o.Recorder, sopts.TraceStream, inst, res)
 		if o.Verify {
 			sp := o.Recorder.StartSpan(sopts.TraceStream, "verify")
 			rep := verify.Audit(inst, res)
@@ -227,8 +263,36 @@ func (s *System) RunMIPContext(ctx context.Context, tr *workload.Trace, opts MIP
 	return run, nil
 }
 
+// recordPeriod publishes one placement period's convergence telemetry: how
+// many passes the solve took and what fraction of videos reused carried-over
+// warm state (zero on cold solves). Keyed by the period's trace stream so
+// tools/tracesum and the /progress endpoint can show per-day trends.
+func recordPeriod(r *obs.Recorder, stream string, inst *mip.Instance, res *epf.Result) {
+	if !r.Enabled() {
+		return
+	}
+	nv := len(inst.Demands)
+	frac := 0.0
+	if nv > 0 {
+		frac = float64(res.Stats.WarmVideos) / float64(nv)
+	}
+	r.PublishKV("pipeline."+stream, map[string]any{
+		"passes":     res.Stats.Passes,
+		"warmVideos": res.Stats.WarmVideos,
+		"numVideos":  nv,
+		"warmFrac":   frac,
+	})
+	if m := r.Metrics(); m != nil {
+		m.Gauge(stream + ".passes").Set(float64(res.Stats.Passes))
+		m.Gauge(stream + ".warm_frac").Set(frac)
+	}
+}
+
 // originsFromPinned maps each instance video to an office currently holding
-// it (for the migration-cost objective); unseen videos default to office 0.
+// it (for the migration-cost objective). Videos absent from the previous
+// placement — new releases, nothing to migrate — get the −1 sentinel, which
+// mip.PlacementCost treats as "no prior copy": zero migration cost anywhere,
+// rather than a spurious free ride at office 0.
 func originsFromPinned(inst *mip.Instance, pinned [][]int, n int) []int32 {
 	holder := make(map[int]int32)
 	for i, vids := range pinned {
@@ -240,7 +304,11 @@ func originsFromPinned(inst *mip.Instance, pinned [][]int, n int) []int32 {
 	}
 	out := make([]int32, len(inst.Demands))
 	for vi := range inst.Demands {
-		out[vi] = holder[inst.Demands[vi].Video] // zero value = office 0
+		if o, ok := holder[inst.Demands[vi].Video]; ok {
+			out[vi] = o
+		} else {
+			out[vi] = -1
+		}
 	}
 	return out
 }

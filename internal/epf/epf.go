@@ -84,6 +84,17 @@ type Options struct {
 	// deterministic at any worker count either way; only the default mode's
 	// exact output bytes are pinned.
 	IncrementalPricing bool
+	// Warm, when non-nil, seeds the solve from a previous period's final
+	// state (see WarmState): initial placement from the per-video open sets
+	// (unknown video IDs fall back to the cold init), initial lower bound
+	// and smoothed duals from the previous row duals when the coupling-row
+	// dimensions match, penalty scale and line-search step from the previous
+	// descent, and facility-location warm starts in both the descent and the
+	// rounding phase. Like IncrementalPricing this changes floating-point
+	// trajectories (not correctness — every bound is re-derived on the new
+	// instance and the usual certificates hold), so it is opt-in and the
+	// cold path stays bit-identical.
+	Warm *WarmState
 	// OnPass, when non-nil, is invoked after every pass with progress
 	// information (used by the CLI tools for -v output).
 	OnPass func(PassInfo)
@@ -169,6 +180,9 @@ type Result struct {
 	Converged bool
 	// Rounded reports whether the integer rounding pass ran.
 	Rounded bool
+	// Warm is the cross-period carryover: the state a subsequent solve over
+	// a shifted instance passes as Options.Warm. Populated on every solve.
+	Warm *WarmState
 	// Stats reports the solve's runtime behavior (work counts, phase wall
 	// times, scratch economy).
 	Stats Stats
@@ -303,6 +317,13 @@ type solver struct {
 	dcHist    []float64
 	mergeBuf  []mip.Frac // mergeFracs staging buffer
 	warmOpen  [][]int32  // per-video previous block open set (warm starts)
+
+	// Cross-period warm-start state (Options.Warm / Result.Warm).
+	warmRound bool    // rounding-phase facloc solves seed from warmOpen
+	tau0      float64 // Newton line-search starting step
+	tauSum    float64 // accepted line-search steps, for the TauHint export
+	tauN      int64
+	lpDelta   float64 // δ at the end of the LP descent (exported hint)
 }
 
 func (s *solver) rowDisk(i int) int    { return i }
@@ -422,6 +443,8 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	s.pool = par.New(o.Workers)
 	s.scratch = par.NewSlots[workerScratch](s.pool)
 	s.lbBuf = make([]float64, len(inst.Demands))
+	s.tau0 = 0.5
+	s.warmRound = s.opts.Warm != nil
 	s.initSolution()
 	s.stats.InitTime = time.Since(initStart)
 	s.opts.Recorder.RecordSpan(s.opts.TraceStream, "init", s.stats.InitTime)
@@ -455,9 +478,17 @@ func (s *solver) mergeStats() {
 
 // initSolution places one copy of each video at its highest-demand office
 // and serves everything from there, then computes activities from scratch.
+// Under Options.Warm, videos whose ID appears in the warm state start from
+// their previous open set instead; the rest keep the cold init (the
+// per-video catalog-churn fallback).
 func (s *solver) initSolution() {
 	s.sol = make([]blockSol, len(s.inst.Demands))
 	for vi := range s.inst.Demands {
+		if open := s.warmVideoOpen(vi); open != nil {
+			s.seedWarmBlock(vi, open)
+			s.stats.WarmVideos++
+			continue
+		}
 		d := &s.inst.Demands[vi]
 		home := int32(vi % s.n)
 		var bestA float64 = -1
@@ -771,8 +802,18 @@ func (s *solver) initRun() {
 		s.chunkSols[c].assign = make([]int32, 0, s.n)
 	}
 	s.dcHist = make([]float64, 0, o.MaxPasses+1)
-	if o.IncrementalPricing {
+	if o.IncrementalPricing || o.Warm != nil {
 		s.warmOpen = make([][]int32, numBlocks)
+	}
+	if o.Warm != nil {
+		// Seed the facility-location warm starts from the previous period's
+		// open sets, so even the first chunk's local searches start near the
+		// old optimum. Videos without a valid warm set stay nil (cold).
+		for vi := range s.warmOpen {
+			if open := s.warmVideoOpen(vi); open != nil {
+				s.warmOpen[vi] = append([]int32(nil), open...)
+			}
+		}
 	}
 	// The fan-out body is created once; per-chunk state flows through
 	// solver fields (s.chunk, s.chunkSols) so no closure is allocated on
@@ -861,6 +902,7 @@ func (s *solver) initDescent() {
 	dc, r0 := s.maxCouplingViol()
 	s.delta = math.Max(math.Max(dc, r0), s.opts.Epsilon/2)
 	s.alpha = s.gammaLnM1 / s.delta
+	s.seedWarmDescent()
 }
 
 // run executes Algorithm 1's main loop and returns the fractional result.
@@ -993,6 +1035,7 @@ passes:
 	}
 
 	converged := s.done(o.Epsilon)
+	s.lpDelta = s.delta // the δ the descent ended at, before rounding retunes
 	// Prefer the incumbent; fall back to the current point.
 	if s.haveUB {
 		s.restoreBest()
@@ -1141,7 +1184,7 @@ func (s *solver) buildResult(passes int, converged bool) *Result {
 	}
 	s.stats.Passes = passes
 	s.mergeStats()
-	return &Result{
+	res := &Result{
 		Sol:        out,
 		LowerBound: s.lb,
 		Objective:  obj,
@@ -1152,6 +1195,8 @@ func (s *solver) buildResult(passes int, converged bool) *Result {
 		Converged:  converged,
 		Stats:      s.stats,
 	}
+	res.Warm = s.exportWarm(res)
+	return res
 }
 
 func (s *solver) snapshotBest() {
@@ -1303,6 +1348,10 @@ func (s *solver) applyBlock(vi int, ns *intSol) {
 
 	tau := s.lineSearch(dObj)
 	if tau > 0 {
+		// Sequential-apply path (driver goroutine): safe to accumulate the
+		// step statistics the warm-state export reports as TauHint.
+		s.tauSum += tau
+		s.tauN++
 		// Remove the old block's rows and cost, replace the block, add the
 		// new (mixed and y-tightened) contribution back.
 		s.addBlockRows(vi, old, -1)
@@ -1359,7 +1408,7 @@ func (s *solver) lineSearch(dObj float64) float64 {
 	if deriv(1) <= 0 {
 		return 1
 	}
-	if s.opts.IncrementalPricing {
+	if s.opts.IncrementalPricing || s.opts.Warm != nil {
 		return s.newtonRoot(dObj, m)
 	}
 	lo, hi := 0.0, 1.0
@@ -1387,7 +1436,11 @@ func (s *solver) lineSearch(dObj float64) float64 {
 // as Φ', so an iteration costs the same as one bisection probe.
 func (s *solver) newtonRoot(dObj float64, m int) float64 {
 	lo, hi := 0.0, 1.0
-	tau := 0.5
+	// The start is 0.5 (plain bisection's first probe) unless a warm state
+	// supplied the previous descent's mean accepted step — steps cluster
+	// around the same magnitude within a regime, so starting there saves the
+	// early bracket-halving iterations.
+	tau := s.tau0
 	for iter := 0; iter < 30; iter++ {
 		var d1, d2 float64
 		for x := 0; x < m; x++ {

@@ -97,9 +97,10 @@ func (s *solver) round(res *Result) {
 			oldCost := s.blockCost(vi, bs)
 			s.refreshDiskDuals(s.q)
 			s.buildBlockProblem(vi, s.q, &ws.prob)
-			fsol := ws.fs.Solve(&ws.prob)
+			fsol := ws.fs.SolveWarm(&ws.prob, s.roundWarm(vi))
 			ns := toIntSol(&fsol, &s.inst.Demands[vi])
 			s.replaceBlock(vi, &ns)
+			s.noteRoundSol(vi, &ns)
 			s.addBlockRows(vi, bs, +1)
 			s.obj += s.blockCost(vi, bs) - oldCost
 		}
@@ -202,10 +203,11 @@ func (s *solver) polishInteger(bestScore *float64, haveBest *bool) {
 				s.refreshDiskDuals(s.q)
 				oldCost := s.blockCost(vi, bs)
 				s.buildBlockProblem(vi, s.q, &ws.prob)
-				fsol := ws.fs.Solve(&ws.prob)
+				fsol := ws.fs.SolveWarm(&ws.prob, s.roundWarm(vi))
 				ns := toIntSol(&fsol, &s.inst.Demands[vi])
 				if s.integerStepImproves(vi, bs, &ns, oldCost, useMerit, dcCap) {
 					s.replaceBlock(vi, &ns)
+					s.noteRoundSol(vi, &ns)
 					changed++
 				}
 				s.addBlockRows(vi, bs, +1)
@@ -221,6 +223,27 @@ func (s *solver) polishInteger(bestScore *float64, haveBest *bool) {
 			break
 		}
 	}
+}
+
+// roundWarm returns the facility-location warm start for video vi in the
+// rounding phase: its latest block open set, maintained across the descent
+// and updated as rounding commits replacements. nil (cold two-start solve,
+// the pinned default behavior) outside cross-period warm mode — the
+// IncrementalPricing-only mode keeps its historical rounding trajectory.
+func (s *solver) roundWarm(vi int) []int32 {
+	if !s.warmRound || s.warmOpen == nil {
+		return nil
+	}
+	return s.warmOpen[vi]
+}
+
+// noteRoundSol records a committed rounding replacement as video vi's new
+// warm set, so later polish passes seed from the freshest placement.
+func (s *solver) noteRoundSol(vi int, ns *intSol) {
+	if !s.warmRound || s.warmOpen == nil {
+		return
+	}
+	s.warmOpen[vi] = append(s.warmOpen[vi][:0], ns.open...)
 }
 
 // loadSolution overwrites the solver's per-video state with sol.

@@ -41,6 +41,11 @@ type Stats struct {
 	// start. Both zero when the mode is off.
 	WarmStartTries int64
 	WarmStartHits  int64
+	// WarmVideos counts videos whose initial point was seeded from a
+	// cross-period WarmState (Options.Warm); the remainder fell back to the
+	// cold init. WarmVideos / NumVideos is the warm reuse fraction the
+	// pipeline telemetry reports. Zero on cold solves.
+	WarmVideos int
 	// ScratchAllocs / ScratchReuses report the per-worker scratch economy:
 	// allocs should stay ≤ Workers, everything else lands in reuses.
 	ScratchAllocs int64
@@ -62,6 +67,9 @@ func (st Stats) String() string {
 	fmt.Fprintf(&b, "dual refreshes %d, line searches %d\n", st.DualRefreshes, st.LineSearches)
 	if st.WarmStartTries > 0 {
 		fmt.Fprintf(&b, "warm starts: %d tried, %d won\n", st.WarmStartTries, st.WarmStartHits)
+	}
+	if st.WarmVideos > 0 {
+		fmt.Fprintf(&b, "warm-seeded videos: %d\n", st.WarmVideos)
 	}
 	fmt.Fprintf(&b, "scratch: %d allocs, %d reuses\n", st.ScratchAllocs, st.ScratchReuses)
 	fmt.Fprintf(&b, "time: init %.2fs, lp %.2fs, rounding %.2fs",

@@ -68,7 +68,7 @@ func CompareSchemesContext(ctx context.Context, sc *Scenario) (*CompareResult, e
 	}
 	schemes := []scheme{
 		{"mip", func() (*sim.Result, error) {
-			r, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify})
+			r, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify, Warm: sc.Cfg.Warm})
 			if err != nil {
 				return nil, err
 			}
@@ -215,7 +215,7 @@ func Fig7Compute(run *core.MIPRun) *Fig7Result {
 // Fig7DiskByPopularity prints the popularity-class disk split.
 func Fig7DiskByPopularity(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
-	run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify})
+	run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify, Warm: sc.Cfg.Warm})
 	if err != nil {
 		return err
 	}
@@ -266,7 +266,7 @@ func Fig8Compute(run *core.MIPRun) *Fig8Result {
 // Fig8Copies prints copy counts at sampled ranks.
 func Fig8Copies(ctx context.Context, w io.Writer, cfg Config) error {
 	sc := NewScenario(cfg)
-	run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify})
+	run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify, Warm: sc.Cfg.Warm})
 	if err != nil {
 		return err
 	}
@@ -344,7 +344,7 @@ func Table2Compute(ctx context.Context, cfg Config, diskFactor float64) (*Table2
 	c := cfg
 	c.DiskFactor = diskFactor
 	sc := NewScenario(c)
-	mipRun, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify})
+	mipRun, err := sc.Sys.RunMIPContext(ctx, sc.Trace, core.MIPOptions{Solver: sc.Cfg.solver(), Verify: sc.Cfg.Verify, Warm: sc.Cfg.Warm})
 	if err != nil {
 		return nil, err
 	}

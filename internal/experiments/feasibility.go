@@ -146,6 +146,7 @@ func Fig12Compute(ctx context.Context, sc *Scenario, fractions []float64) (*Fig1
 			CacheFraction: cf,
 			Solver:        sc.Cfg.solver(),
 			Verify:        sc.Cfg.Verify,
+			Warm:          sc.Cfg.Warm,
 		})
 		if err != nil {
 			return nil, err
@@ -479,6 +480,7 @@ func Table5Compute(ctx context.Context, cfg Config, windows []int64) ([]Table5Ro
 			CacheFraction: -1,
 			Solver:        sc.Cfg.solver(),
 			Verify:        sc.Cfg.Verify,
+			Warm:          sc.Cfg.Warm,
 		})
 		if err != nil {
 			return nil, err

@@ -219,6 +219,7 @@ func Table6Compute(ctx context.Context, cfg Config) ([]Table6Row, error) {
 	var rows []Table6Row
 	for _, v := range variants {
 		v.opts.Verify = sc.Cfg.Verify
+		v.opts.Warm = sc.Cfg.Warm
 		run, err := sc.Sys.RunMIPContext(ctx, sc.Trace, v.opts)
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s: %w", v.name, err)

@@ -43,11 +43,21 @@ type Config struct {
 	Seed int64
 	// MaxPasses caps the EPF solver. Default 80 (Quick: 50).
 	MaxPasses int
+	// Epsilon overrides the solver's convergence tolerance (0 keeps the
+	// solver default). Looser tolerances let small noisy instances converge
+	// before the pass cap — useful when studying convergence trends.
+	Epsilon float64
 	// Quick shrinks everything for tests.
 	Quick bool
 	// Verify re-checks every solver result with the independent certificate
 	// auditor (internal/verify) and fails loudly on any violated claim.
 	Verify bool
+	// Warm enables cross-period warm starts in every multi-period MIP
+	// pipeline an experiment runs (core.MIPOptions.Warm): each day's solve is
+	// seeded from the previous day's final solver state. Off by default —
+	// warm solves change floating-point trajectories, so figure outputs
+	// differ slightly (never beyond the certified tolerance).
+	Warm bool
 	// Recorder threads the telemetry layer (internal/obs) through every
 	// solver and simulator run an experiment performs. nil disables it.
 	Recorder *obs.Recorder
@@ -103,7 +113,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) solver() epf.Options {
-	return epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses, Recorder: c.Recorder}
+	return epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses, Epsilon: c.Epsilon, Recorder: c.Recorder}
 }
 
 // audit re-checks res against inst with the independent certificate auditor

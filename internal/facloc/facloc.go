@@ -108,11 +108,13 @@ type Solution struct {
 // Solver carries reusable scratch space. A zero Solver is ready to use; it
 // is not safe for concurrent use — use one Solver per goroutine.
 type Solver struct {
-	// WarmTries / WarmHits count SolveQuickInto calls that received a warm
-	// open set, and the subset where the warm start's local optimum beat the
-	// cold first start. Plain counters (no atomics): each Solver instance is
-	// single-goroutine by contract; the epf solver keeps one per worker and
-	// folds these into its Stats on the driver goroutine.
+	// WarmTries / WarmHits count SolveQuickInto / SolveWarmInto calls that
+	// received a warm open set, and the subset where the search improved on
+	// it (SolveQuickInto: the warm local optimum beat the cold first start;
+	// SolveWarmInto: the search moved off the seed). Plain counters (no
+	// atomics): each Solver instance is single-goroutine by contract; the epf
+	// solver keeps one per worker and folds these into its Stats on the
+	// driver goroutine.
 	WarmTries int64
 	WarmHits  int64
 
@@ -320,6 +322,57 @@ func (s *Solver) SolveInto(p *Problem, out *Solution) {
 		s.nOpen = nOpen1
 		s.rebuildOpenList()
 		s.refreshBests(p)
+	}
+	s.extractInto(p, kk, out)
+}
+
+// SolveWarm is Solve started from a warm open set (ascending facility
+// indices) instead of the two cold starts: the full add/drop/swap local
+// search runs from the warm set alone. With an empty warm set it is exactly
+// Solve. Used by the epf rounding phase under cross-period warm starts,
+// where the previous period's placement usually sits a couple of moves from
+// the new optimum and the cold starts' long climbs are the dominant cost.
+func (s *Solver) SolveWarm(p *Problem, warm []int32) Solution {
+	var out Solution
+	s.SolveWarmInto(p, &out, warm)
+	return out
+}
+
+// SolveWarmInto is SolveWarm writing the result into out, reusing its
+// backing arrays.
+func (s *Solver) SolveWarmInto(p *Problem, out *Solution, warm []int32) {
+	if len(warm) == 0 {
+		s.SolveInto(p, out)
+		return
+	}
+	n, kk := p.NumFacilities(), p.NumDemands()
+	if n == 0 {
+		panic("facloc: SolveWarm with no facilities")
+	}
+	s.reserve(n, kk)
+
+	// Single start: the warm open set. The full add/drop/swap search runs
+	// from it, so any configuration reachable from the cheapest-single or
+	// all-open starts by improving moves is reachable from here too; what is
+	// saved is the cold starts' long climbs, which is most of the rounding
+	// bill when the warm set already sits near the optimum.
+	s.WarmTries++
+	for i := range s.open {
+		s.open[i] = false
+	}
+	s.nOpen = 0
+	for _, i := range warm {
+		if !s.open[i] {
+			s.open[i] = true
+			s.nOpen++
+		}
+	}
+	s.rebuildOpenList()
+	s.refreshBests(p)
+	before := s.openSetCost(p)
+	s.localSearch(p, true)
+	if s.openSetCost(p) < before {
+		s.WarmHits++
 	}
 	s.extractInto(p, kk, out)
 }

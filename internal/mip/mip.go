@@ -126,7 +126,10 @@ type Instance struct {
 	// video m at office i adds w·s^m·c(origin(m), i) to the objective.
 	UpdateWeight float64
 	// Origin[v] is the office holding video v before this placement round
-	// (nearest copy), used with UpdateWeight. Empty means office 0.
+	// (nearest copy), used with UpdateWeight. Empty means office 0. A
+	// negative entry marks a video with no prior copy (e.g. a new release):
+	// its placement incurs no migration cost anywhere, rather than being
+	// charged a spurious transfer away from office 0.
 	Origin []int32
 
 	hops []int16 // cached hop counts, row-major [i*n+j]
@@ -280,12 +283,17 @@ func (inst *Instance) originOf(vi int) int {
 }
 
 // PlacementCost returns the objective (11) term for storing video index vi
-// at office i: w·s^m·c(origin, i). Zero when UpdateWeight is zero.
+// at office i: w·s^m·c(origin, i). Zero when UpdateWeight is zero, and zero
+// for videos with no prior copy (negative origin) — there is nothing to
+// migrate, so the update term exempts them.
 func (inst *Instance) PlacementCost(vi, i int) float64 {
 	if inst.UpdateWeight == 0 {
 		return 0
 	}
 	o := inst.originOf(vi)
+	if o < 0 {
+		return 0
+	}
 	return inst.UpdateWeight * inst.Demands[vi].SizeGB * inst.Cost(o, i)
 }
 

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPrefetchDone is returned by Prefetch.Next after the sequence has been
+// fully consumed.
+var ErrPrefetchDone = errors.New("par: prefetch exhausted")
+
+// prefetchItem is one produced value or the error that ended production.
+type prefetchItem[T any] struct {
+	val T
+	err error
+}
+
+// Prefetch is a bounded one-ahead producer: a single goroutine computes
+// produce(0), produce(1), … in order, staying at most one item ahead of the
+// consumer. It exists to overlap per-period instance building with the
+// previous period's solve in the multi-period pipeline — the producer works
+// on item i+1 while the consumer processes item i, and backpressure (channel
+// capacity 1) keeps memory bounded to two in-flight items.
+//
+// Determinism contract: items are produced strictly in index order by one
+// goroutine, so overlapping changes wall-clock only, never values. The
+// channel handoff orders the producer's writes before the consumer's reads,
+// so the consumer may freely mutate a received item.
+type Prefetch[T any] struct {
+	ch   chan prefetchItem[T]
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewPrefetch starts the producer for n items. Production stops at the first
+// produce error (delivered to the consumer, then the sequence ends), on ctx
+// cancellation, or on Close.
+func NewPrefetch[T any](ctx context.Context, n int, produce func(i int) (T, error)) *Prefetch[T] {
+	p := &Prefetch[T]{
+		ch:   make(chan prefetchItem[T], 1),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.ch)
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				p.deliver(ctx, prefetchItem[T]{err: err})
+				return
+			}
+			v, err := produce(i)
+			if !p.deliver(ctx, prefetchItem[T]{val: v, err: err}) || err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// deliver sends one item, abandoning the send when the consumer closed the
+// prefetch or the context was cancelled while the buffer was full.
+func (p *Prefetch[T]) deliver(ctx context.Context, it prefetchItem[T]) bool {
+	select {
+	case p.ch <- it:
+		return true
+	case <-p.stop:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Next returns the next item in sequence. After the last item (or after a
+// delivered error ended production) it returns ErrPrefetchDone; after a
+// cancellation that cut production short it returns the context's error if
+// that was delivered, ErrPrefetchDone otherwise — callers running under the
+// same context will see its error from their own work either way.
+func (p *Prefetch[T]) Next() (T, error) {
+	it, ok := <-p.ch
+	if !ok {
+		var zero T
+		return zero, ErrPrefetchDone
+	}
+	return it.val, it.err
+}
+
+// Close stops the producer and releases its goroutine; safe to call
+// multiple times and concurrently with Next. Items already buffered are
+// discarded by the closing of the sequence, not returned.
+func (p *Prefetch[T]) Close() {
+	p.once.Do(func() { close(p.stop) })
+	// Drain so a producer blocked on a full buffer observes stop promptly
+	// and the channel close propagates; at most one buffered item exists.
+	for range p.ch { //nolint:revive // draining until the producer closes ch
+	}
+}

@@ -1,0 +1,130 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPrefetchOrder(t *testing.T) {
+	p := NewPrefetch(context.Background(), 10, func(i int) (int, error) {
+		return i * i, nil
+	})
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		v, err := p.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if v != i*i {
+			t.Fatalf("Next(%d) = %d, want %d", i, v, i*i)
+		}
+	}
+	if _, err := p.Next(); !errors.Is(err, ErrPrefetchDone) {
+		t.Fatalf("Next after end: %v, want ErrPrefetchDone", err)
+	}
+	// Exhaustion is stable.
+	if _, err := p.Next(); !errors.Is(err, ErrPrefetchDone) {
+		t.Fatalf("second Next after end: %v, want ErrPrefetchDone", err)
+	}
+}
+
+func TestPrefetchBackpressure(t *testing.T) {
+	var produced atomic.Int64
+	p := NewPrefetch(context.Background(), 100, func(i int) (int, error) {
+		produced.Add(1)
+		return i, nil
+	})
+	defer p.Close()
+	// Consume one item, then give the producer time to run ahead. With a
+	// capacity-1 buffer it can have completed at most item 0 (consumed),
+	// item 1 (buffered) and item 2 (computed, blocked in deliver): ≤ 3.
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := produced.Load(); n > 3 {
+		t.Fatalf("producer ran %d items ahead, want bounded one-ahead (≤3)", n)
+	}
+}
+
+func TestPrefetchProduceError(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPrefetch(context.Background(), 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := p.Next(); err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+	}
+	if _, err := p.Next(); !errors.Is(err, boom) {
+		t.Fatalf("Next(2): %v, want produce error", err)
+	}
+	// The error ends the sequence; items 3 and 4 are never produced.
+	if _, err := p.Next(); !errors.Is(err, ErrPrefetchDone) {
+		t.Fatalf("Next after error: %v, want ErrPrefetchDone", err)
+	}
+}
+
+func TestPrefetchContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p := NewPrefetch(ctx, 5, func(i int) (int, error) {
+		if i == 1 {
+			close(started)
+			<-release
+		}
+		return i, nil
+	})
+	defer p.Close()
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	close(release)
+	// After cancellation the sequence ends with either the context error
+	// (if the cancellation check delivered it) or ErrPrefetchDone (if the
+	// producer abandoned an in-flight send) — never a fabricated value
+	// beyond what was produced.
+	for {
+		_, err := p.Next()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrPrefetchDone) {
+			t.Fatalf("Next after cancel: %v", err)
+		}
+		break
+	}
+}
+
+func TestPrefetchCloseUnblocksProducer(t *testing.T) {
+	done := make(chan struct{})
+	p := NewPrefetch(context.Background(), 1000, func(i int) (int, error) {
+		if i == 999 {
+			close(done)
+		}
+		return i, nil
+	})
+	// Consume nothing: the producer fills the buffer and blocks in deliver.
+	p.Close()
+	select {
+	case <-done:
+		t.Fatal("producer ran to completion despite Close")
+	default:
+	}
+	// Close is idempotent and Next after Close reports exhaustion.
+	p.Close()
+	if _, err := p.Next(); !errors.Is(err, ErrPrefetchDone) {
+		t.Fatalf("Next after Close: %v, want ErrPrefetchDone", err)
+	}
+}

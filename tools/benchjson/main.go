@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -82,14 +83,19 @@ func main() {
 
 	if *baselinePath != "" {
 		data, err := os.ReadFile(*baselinePath)
-		if err != nil {
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run for a new record file: nothing to carry over yet.
+			fmt.Fprintf(os.Stderr, "benchjson: %s does not exist yet; emitting a record without a baseline\n", *baselinePath)
+		case err != nil:
 			fatal(err)
+		default:
+			var prev Record
+			if err := json.Unmarshal(data, &prev); err != nil {
+				fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+			}
+			rec.Baseline = prev.Current
 		}
-		var prev Record
-		if err := json.Unmarshal(data, &prev); err != nil {
-			fatal(fmt.Errorf("%s: %w", *baselinePath, err))
-		}
-		rec.Baseline = prev.Current
 	}
 	if len(rec.Baseline) > 0 {
 		rec.Speedup = map[string]float64{}

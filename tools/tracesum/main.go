@@ -174,6 +174,7 @@ func (s *summary) writeTable(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	s.writePassTrends(w)
 	for _, st := range s.sim {
 		if len(st.slices) == 0 {
 			continue
@@ -199,6 +200,88 @@ func (s *summary) writeTable(w io.Writer) {
 		fmt.Fprintf(w, "== sim %s ==\n", st.name)
 		fmt.Fprintf(w, "bins %d  peak %.0f Mb/s  max util %.3f  total %.0f GBxhop  requests %d  local %.2f%%  evictions %d\n\n",
 			len(st.slices), peak, util, gbhop, req, 100*local, evict)
+	}
+}
+
+// dayStream splits a per-period stream name ("mip.day07") into its scheme
+// prefix and day label. Streams without the suffix are not part of a
+// multi-period pipeline and produce no trend row.
+func dayStream(name string) (prefix, day string, ok bool) {
+	i := strings.LastIndex(name, ".day")
+	if i < 0 {
+		return "", "", false
+	}
+	day = name[i+len(".day"):]
+	if day == "" {
+		return "", "", false
+	}
+	for _, c := range day {
+		if c < '0' || c > '9' {
+			return "", "", false
+		}
+	}
+	return name[:i], day, true
+}
+
+// streamPasses is the stream's pass count: the solver's own final count when
+// the stream carries a done event, the number of pass events otherwise (a
+// truncated trace).
+func streamPasses(st *epfStream) int {
+	if st.done != nil {
+		return st.done.Passes
+	}
+	return len(st.passes)
+}
+
+// writePassTrends renders one trend block per multi-period scheme: the
+// per-day pass counts in day order plus the first/last/total line that shows
+// at a glance whether convergence effort shrinks across periods — the
+// headline signal for cross-period warm starts. Traces without day-grouped
+// streams (single solves) produce no output here, keeping their summaries
+// byte-identical.
+func (s *summary) writePassTrends(w io.Writer) {
+	type trend struct {
+		prefix  string
+		streams []*epfStream
+	}
+	var trends []*trend
+	idx := map[string]*trend{}
+	for _, st := range s.epf {
+		prefix, _, ok := dayStream(st.name)
+		if !ok || (len(st.passes) == 0 && st.done == nil) {
+			continue
+		}
+		tr, seen := idx[prefix]
+		if !seen {
+			tr = &trend{prefix: prefix}
+			idx[prefix] = tr
+			trends = append(trends, tr)
+		}
+		tr.streams = append(tr.streams, st)
+	}
+	for _, tr := range trends {
+		// Streams appear in solve order, which is day order by construction;
+		// sort by day label anyway so a merged trace still reads correctly.
+		sort.SliceStable(tr.streams, func(a, b int) bool {
+			_, da, _ := dayStream(tr.streams[a].name)
+			_, db, _ := dayStream(tr.streams[b].name)
+			return da < db
+		})
+		fmt.Fprintf(w, "== passes trend: %s ==\n", tr.prefix)
+		total := 0
+		for _, st := range tr.streams {
+			_, day, _ := dayStream(st.name)
+			p := streamPasses(st)
+			total += p
+			fmt.Fprintf(w, "day %s  passes %3d", day, p)
+			if st.done != nil {
+				fmt.Fprintf(w, "  converged %v", st.done.Converged)
+			}
+			fmt.Fprintln(w)
+		}
+		first := streamPasses(tr.streams[0])
+		last := streamPasses(tr.streams[len(tr.streams)-1])
+		fmt.Fprintf(w, "first %d  last %d  total %d\n\n", first, last, total)
 	}
 }
 

@@ -8,9 +8,13 @@ import (
 	"strings"
 	"testing"
 
+	"vodplace/internal/catalog"
+	"vodplace/internal/core"
 	"vodplace/internal/epf"
 	"vodplace/internal/obs"
+	"vodplace/internal/topology"
 	"vodplace/internal/verify"
+	"vodplace/internal/workload"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden summary")
@@ -144,5 +148,90 @@ func TestMonotoneAudit(t *testing.T) {
 				t.Errorf("violations = %v, want bad=%v", bad, tc.bad)
 			}
 		})
+	}
+}
+
+// pipelineTraced runs a small fixed-seed multi-period warm pipeline with
+// tracing on and returns the raw JSONL trace: three day-grouped EPF streams
+// (mip.day07..mip.day09) plus the simulator stream.
+func pipelineTraced(t *testing.T) []byte {
+	t.Helper()
+	g := topology.Random(6, 1.2, 4)
+	lib := catalog.Generate(catalog.Config{NumVideos: 80, Weeks: 2}, 6)
+	tr := workload.GenerateTrace(lib, workload.TraceConfig{
+		Days: 10, NumVHOs: 6, RequestsPerVideoPerDay: 10,
+	}, 9)
+	sys := &core.System{
+		G:           g,
+		Lib:         lib,
+		DiskGB:      core.UniformDisk(lib, 6, 2.0),
+		LinkCapMbps: core.UniformLinks(g, 20000),
+	}
+	var buf bytes.Buffer
+	rec := obs.New(&buf)
+	_, err := sys.RunMIP(tr, core.MIPOptions{
+		UpdateEveryDays: 1,
+		UpdateWeight:    0.5,
+		Warm:            true,
+		Solver:          epf.Options{Seed: 1, MaxPasses: 200, Epsilon: 0.05},
+		Recorder:        rec,
+	})
+	if err != nil {
+		t.Fatalf("RunMIP: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenPipelineSummary pins the summary of a warm multi-period trace,
+// including the per-scheme passes-trend block that only day-grouped streams
+// produce. Regenerate with -update after an intentional change.
+func TestGoldenPipelineSummary(t *testing.T) {
+	sum := summaryFor(t, pipelineTraced(t))
+	var out bytes.Buffer
+	sum.writeTable(&out)
+
+	if !strings.Contains(out.String(), "== passes trend: mip ==") {
+		t.Fatalf("pipeline summary missing passes-trend block:\n%s", out.String())
+	}
+
+	golden := filepath.Join("testdata", "pipeline.golden")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to generate): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("pipeline summary drifted from golden (re-run with -update if intentional)\n--- got ---\n%s--- want ---\n%s", out.Bytes(), want)
+	}
+	if bad := sum.monotoneViolations(); len(bad) > 0 {
+		t.Errorf("monotonicity violations in a clean pipeline: %v", bad)
+	}
+}
+
+// TestDayStream pins the stream-name parser the trend block relies on.
+func TestDayStream(t *testing.T) {
+	cases := []struct {
+		name, prefix, day string
+		ok                bool
+	}{
+		{"mip.day07", "mip", "07", true},
+		{"fig2.mip.day14", "fig2.mip", "14", true},
+		{"epf", "", "", false},
+		{"mip.day", "", "", false},
+		{"mip.dayXX", "", "", false},
+	}
+	for _, tc := range cases {
+		prefix, day, ok := dayStream(tc.name)
+		if prefix != tc.prefix || day != tc.day || ok != tc.ok {
+			t.Errorf("dayStream(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.name, prefix, day, ok, tc.prefix, tc.day, tc.ok)
+		}
 	}
 }
