@@ -2,7 +2,7 @@ GO ?= go
 
 # Per-target budget for `make fuzz`; CI uses FUZZTIME=30s.
 FUZZTIME ?= 10s
-FUZZ_TARGETS := FuzzNewInstance FuzzEPFSolve FuzzFacloc
+FUZZ_TARGETS := FuzzNewInstance FuzzInstanceBuilder FuzzEPFSolve FuzzFacloc
 
 # Fixed-seed instance for the telemetry smoke test; small enough to solve in
 # seconds, large enough for a nontrivial convergence trajectory.
@@ -37,7 +37,9 @@ bench:
 # with best-of selection suppresses scheduler noise. BENCH_epf.json covers
 # the solver hot paths; BENCH_pipeline.json covers the week-long multi-period
 # pipeline (BenchmarkRunMIPWeekCold vs ...Warm — the cross-period warm-start
-# headline is their ns/op ratio).
+# headline is their ns/op ratio); BENCH_scale.json covers the 1k/10k/100k
+# catalog sweep through the sharded streaming pipeline (-count 1 — the long
+# points dominate and best-of-3 would triple a multi-minute run).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/epf/ \
 		| $(GO) run ./tools/benchjson -baseline BENCH_epf.json > BENCH_epf.json.tmp
@@ -45,6 +47,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench RunMIPWeek -benchmem -count 3 ./internal/core/ \
 		| $(GO) run ./tools/benchjson -baseline BENCH_pipeline.json > BENCH_pipeline.json.tmp
 	mv BENCH_pipeline.json.tmp BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench Scale -benchmem -count 1 -timeout 60m ./internal/experiments/ \
+		| $(GO) run ./tools/benchjson -baseline BENCH_scale.json > BENCH_scale.json.tmp
+	mv BENCH_scale.json.tmp BENCH_scale.json
 
 # go test accepts a single -fuzz pattern per invocation, so budgeted runs
 # loop over the targets explicitly.

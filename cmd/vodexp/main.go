@@ -36,6 +36,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "random seed (default 1)")
 		passes = flag.Int("passes", 0, "solver pass cap (default 80)")
 		eps    = flag.Float64("eps", 0, "solver convergence tolerance (default: solver's)")
+		shards = flag.Int("shards", 0, "catalog shards for block scheduling (0/1 = unsharded; any value yields bit-identical results)")
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		doAud  = flag.Bool("verify", false, "re-check every solver result with the independent certificate auditor")
 		warm   = flag.Bool("warm", false, "seed each placement period's solve from the previous period's final state (cross-period warm starts)")
@@ -92,6 +93,7 @@ func main() {
 		Seed:                   *seed,
 		MaxPasses:              *passes,
 		Epsilon:                *eps,
+		Shards:                 *shards,
 		Quick:                  *quick,
 		Verify:                 *doAud,
 		Warm:                   *warm,

@@ -62,6 +62,12 @@ type Config struct {
 	// WindowSec is the peak-window length. Default 3600 (1 h, the Table V
 	// sweet spot).
 	WindowSec int64
+	// Shards is the number of catalog shards the built instance is split
+	// into (mip.Instance.Shards); the EPF solver adopts the instance's shard
+	// count by default. ≤ 1 builds a single shard — exactly the historical
+	// layout. Sharding never changes the instance's numeric content, only
+	// its decomposition.
+	Shards int
 	// SeriesEstimation enables new-episode estimation from the previous
 	// episode. Default true (disabled only by DisableSeriesEstimation).
 	DisableSeriesEstimation bool
@@ -194,45 +200,57 @@ func (b *Builder) Instance(tr *workload.Trace, placementDay int) (*mip.Instance,
 		b.estimateNewVideos(profiles, placementDay, cfg)
 	}
 
-	// Assemble VideoDemand for every video available during the period.
+	// Stream one VideoDemand per available video into an InstanceBuilder.
+	// A single reused staging row set (Js/Agg/Conc below) is the only dense
+	// per-video state alive at any moment — the builder copies what it keeps
+	// and stores concurrency as CSR nonzeros — so build memory is bounded by
+	// the largest single video plus the sealed shards, never by a dense
+	// all-catalog intermediate. Videos are emitted in library order, exactly
+	// the order the historical batch path materialized them in.
 	lastDay := placementDay + cfg.HorizonDays
-	var demands []mip.VideoDemand
+	eligible := 0
+	for i := range b.Lib.Videos {
+		if b.Lib.Videos[i].ReleaseDay < lastDay {
+			eligible++
+		}
+	}
+	shardSize := 0
+	if cfg.Shards > 1 && eligible > 0 {
+		shardSize = (eligible + cfg.Shards - 1) / cfg.Shards
+	}
+	ib, err := mip.NewInstanceBuilder(b.G, b.DiskGB, b.LinkCapMbps, cfg.Slices, shardSize)
+	if err != nil {
+		return nil, err
+	}
+	stage := mip.VideoDemand{Conc: make([][]float64, cfg.Slices)}
 	for _, v := range b.Lib.Videos {
 		if v.ReleaseDay >= lastDay {
 			continue
 		}
-		d := mip.VideoDemand{
-			Video:    v.ID,
-			SizeGB:   v.SizeGB,
-			RateMbps: v.RateMbps,
-			Conc:     make([][]float64, cfg.Slices),
+		stage.Video, stage.SizeGB, stage.RateMbps = v.ID, v.SizeGB, v.RateMbps
+		stage.Js, stage.Agg = stage.Js[:0], stage.Agg[:0]
+		for t := range stage.Conc {
+			stage.Conc[t] = stage.Conc[t][:0]
 		}
 		if p, ok := profiles[v.ID]; ok {
-			js := make([]int32, 0, len(p.agg))
 			for j := range p.agg {
-				js = append(js, j)
+				stage.Js = append(stage.Js, j)
 			}
-			sort.Slice(js, func(a, b int) bool { return js[a] < js[b] })
-			d.Js = js
-			d.Agg = make([]float64, len(js))
-			for k, j := range js {
-				d.Agg[k] = p.agg[j]
+			sort.Slice(stage.Js, func(x, y int) bool { return stage.Js[x] < stage.Js[y] })
+			for _, j := range stage.Js {
+				stage.Agg = append(stage.Agg, p.agg[j])
 			}
 			for t := 0; t < cfg.Slices; t++ {
-				d.Conc[t] = make([]float64, len(js))
-				for k, j := range js {
-					d.Conc[t][k] = p.conc[t][j]
+				for _, j := range stage.Js {
+					stage.Conc[t] = append(stage.Conc[t], p.conc[t][j])
 				}
 			}
-		} else {
-			for t := 0; t < cfg.Slices; t++ {
-				d.Conc[t] = []float64{}
-			}
 		}
-		demands = append(demands, d)
+		if err := ib.Add(&stage); err != nil {
+			return nil, err
+		}
 	}
-
-	return mip.NewInstance(b.G, b.DiskGB, b.LinkCapMbps, cfg.Slices, demands)
+	return ib.Seal()
 }
 
 // estimateNewVideos adds §VI-A estimated profiles for videos released in

@@ -196,10 +196,13 @@ func TestConcurrencyPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Built demands carry only the CSR view (dense Conc staging is dropped
+	// at construction), so sum concurrency through ConcNZ.
 	var totalConc float64
 	for _, d := range inst.Demands {
-		for t2 := range d.Conc {
-			for _, f := range d.Conc[t2] {
+		for k := range d.Js {
+			_, fv := d.ConcNZ(k)
+			for _, f := range fv {
 				totalConc += f
 			}
 		}

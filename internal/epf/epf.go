@@ -64,6 +64,16 @@ type Options struct {
 	MaxPasses int
 	// Workers is the parallelism for block optimization. Default NumCPU.
 	Workers int
+	// Shards is the number of contiguous catalog shards the block schedule
+	// is grouped by. 0 (the default) adopts the instance's own shard layout
+	// (mip.Instance.Shards — one shard for batch-built instances, the
+	// builder's layout for streamed ones); a positive value forces an even
+	// contiguous re-partition with that many shards, capped at the video
+	// count. Sharding changes only data locality, scheduling and per-shard
+	// telemetry — every result is bit-identical at any shard count, exactly
+	// as it is at any worker count, because block results land in
+	// index-addressed slots and every reduction runs in index order.
+	Shards int
 	// Seed drives block shuffling. Default 1.
 	Seed int64
 	// LBEvery computes the Lagrangian lower bound every this many passes.
@@ -200,6 +210,11 @@ type intSol struct {
 	assign []int32
 }
 
+// shardSpan is one contiguous catalog shard [lo, hi) in video-index space.
+type shardSpan struct {
+	lo, hi int
+}
+
 // workerScratch is one pool worker's reusable state: the facility-location
 // solver and problem buffers (allocated once, reused across every chunk,
 // pass and bound evaluation) plus lock-free stat counters. Slot w is only
@@ -312,11 +327,30 @@ type solver struct {
 	perm      []int
 	chunk     []int
 	chunkSols []intSol
-	chunkFn   func(w, lo, hi int)
 	swapFn    func(a, b int)
 	dcHist    []float64
 	mergeBuf  []mip.Frac // mergeFracs staging buffer
 	warmOpen  [][]int32  // per-video previous block open set (warm starts)
+
+	// Shard scheduling state. Shards are contiguous catalog ranges resolved
+	// in newSolver (from the instance layout or Options.Shards); every
+	// fan-out dispatches shard-affine index ranges via par.RunTasks so one
+	// worker's consecutive blocks share a shard's working set. Because block
+	// results are index-addressed and reductions run in chunk/video order on
+	// the driver goroutine, the shard decomposition — like the worker count —
+	// never changes numeric output.
+	shards      []shardSpan
+	shardOf     []int32    // video index -> shard index
+	shardBlocks []int64    // per-shard descent block solves, driver-tallied
+	chunkPos    []int32    // current chunk's positions, grouped by shard
+	shardCnt    []int32    // counting-sort scratch: blocks per shard
+	shardHead   []int32    // counting-sort scratch: group write heads
+	tasks       []par.Task // descent-chunk task list (reused)
+	chunkTaskFn func(w, tag, lo, hi int)
+	lbTasks     []par.Task // static shard-affine split of all blocks
+	lbTaskFn    func(w, tag, lo, hi int)
+	lbQ         []float64 // frozen duals for the current bound fan-out
+	lbWantGrad  bool
 
 	// Cross-period warm-start state (Options.Warm / Result.Warm).
 	warmRound bool    // rounding-phase facloc solves seed from warmOpen
@@ -443,6 +477,7 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	s.pool = par.New(o.Workers)
 	s.scratch = par.NewSlots[workerScratch](s.pool)
 	s.lbBuf = make([]float64, len(inst.Demands))
+	s.initShards()
 	s.tau0 = 0.5
 	s.warmRound = s.opts.Warm != nil
 	s.initSolution()
@@ -457,6 +492,107 @@ func (s *solver) close() {
 	if s.pool != nil {
 		s.pool.Close()
 	}
+}
+
+// initShards resolves the solve's shard layout and builds the shard-affine
+// scheduling state: the video→shard map, the static bound-evaluation task
+// list, and the bound fan-out body. Runs once in newSolver; every buffer the
+// steady-state dispatch touches is sized here.
+func (s *solver) initShards() {
+	numBlocks := len(s.inst.Demands)
+	s.shards = resolveShards(s.inst, s.opts.Shards)
+	S := len(s.shards)
+	s.shardOf = make([]int32, numBlocks)
+	for si, sp := range s.shards {
+		for vi := sp.lo; vi < sp.hi; vi++ {
+			s.shardOf[vi] = int32(si)
+		}
+	}
+	s.shardBlocks = make([]int64, S)
+	s.shardCnt = make([]int32, S)
+	s.shardHead = make([]int32, S)
+	s.chunkPos = make([]int32, s.opts.ChunkSize)
+	// Σ_s ceil(g_s/per) ≤ S + W pieces for any chunk split, so the task
+	// buffer never regrows.
+	s.tasks = make([]par.Task, 0, S+s.opts.Workers)
+	// Bound evaluations sweep every block; the split is static, so build it
+	// once: each shard's range in pieces of at most ceil(numBlocks/W).
+	per := (numBlocks + s.opts.Workers - 1) / s.opts.Workers
+	if per < 1 {
+		per = 1
+	}
+	for si, sp := range s.shards {
+		for lo := sp.lo; lo < sp.hi; lo += per {
+			hi := lo + per
+			if hi > sp.hi {
+				hi = sp.hi
+			}
+			s.lbTasks = append(s.lbTasks, par.Task{Tag: si, Lo: lo, Hi: hi})
+		}
+	}
+	// The bound fan-out body, created once; the frozen duals and gradient
+	// request flow through solver fields (s.lbQ, s.lbWantGrad). Per-block
+	// bounds land in s.lbBuf, index-addressed, and the caller reduces them in
+	// video order — bit-identical at any worker or shard count.
+	s.lbTaskFn = func(w, _, lo, hi int) {
+		ws := s.scratch.Get(w)
+		if ws.used == nil {
+			ws.used = make([]bool, s.n)
+		}
+		q := s.lbQ
+		for vi := lo; vi < hi; vi++ {
+			if (vi-lo)%64 == 0 && s.ctx.Err() != nil {
+				return
+			}
+			s.buildBlockProblem(vi, q, &ws.prob)
+			lb, _ := ws.fs.DualAscent(&ws.prob)
+			s.lbBuf[vi] = lb
+			if s.lbWantGrad {
+				ws.fs.SolveQuickInto(&ws.prob, &ws.fsol, nil)
+				toIntSolInto(&ws.fsol, &s.inst.Demands[vi], ws.used, &s.lbSols[vi])
+			}
+			ws.lbBlocks++
+		}
+	}
+	s.stats.Shards = S
+}
+
+// resolveShards returns the contiguous catalog shards a solve schedules by.
+// want = 0 adopts the instance's own layout (single shard when the instance
+// carries none, e.g. hand-built literals); want > 0 forces an even
+// re-partition into min(want, numVideos) shards.
+func resolveShards(inst *mip.Instance, want int) []shardSpan {
+	numBlocks := len(inst.Demands)
+	if want <= 0 {
+		if ns := inst.NumShards(); ns > 0 {
+			out := make([]shardSpan, ns)
+			for si := 0; si < ns; si++ {
+				sh := inst.Shards[si]
+				out[si] = shardSpan{lo: sh.Lo, hi: sh.Hi}
+			}
+			return out
+		}
+		return []shardSpan{{lo: 0, hi: numBlocks}}
+	}
+	if want > numBlocks {
+		want = numBlocks
+	}
+	if want < 1 {
+		want = 1
+	}
+	out := make([]shardSpan, 0, want)
+	per := (numBlocks + want - 1) / want
+	for lo := 0; lo < numBlocks; lo += per {
+		hi := lo + per
+		if hi > numBlocks {
+			hi = numBlocks
+		}
+		out = append(out, shardSpan{lo: lo, hi: hi})
+	}
+	if len(out) == 0 {
+		out = append(out, shardSpan{lo: 0, hi: numBlocks})
+	}
+	return out
 }
 
 // mergeStats folds the per-worker scratch counters into s.stats. Totals are
@@ -816,15 +952,18 @@ func (s *solver) initRun() {
 		}
 	}
 	// The fan-out body is created once; per-chunk state flows through
-	// solver fields (s.chunk, s.chunkSols) so no closure is allocated on
-	// the hot path. chunkSols is index-addressed and applied sequentially
-	// by the caller, so the worker partition never affects numerics.
-	s.chunkFn = func(w, wlo, whi int) {
+	// solver fields (s.chunk, s.chunkPos, s.chunkSols) so no closure is
+	// allocated on the hot path. Tasks are shard-affine position ranges
+	// built by buildChunkTasks; chunkSols is index-addressed by chunk
+	// position and applied sequentially in chunk order by the caller, so
+	// neither the worker partition nor the shard grouping affects numerics.
+	s.chunkTaskFn = func(w, _, lo, hi int) {
 		ws := s.scratch.Get(w)
 		if ws.used == nil {
 			ws.used = make([]bool, s.n)
 		}
-		for c := wlo; c < whi; c++ {
+		for idx := lo; idx < hi; idx++ {
+			c := int(s.chunkPos[idx])
 			vi := s.chunk[c]
 			s.buildBlockProblem(vi, s.q, &ws.prob)
 			var warm []int32
@@ -837,7 +976,53 @@ func (s *solver) initRun() {
 				s.warmOpen[vi] = append(s.warmOpen[vi][:0], s.chunkSols[c].open...)
 			}
 		}
-		ws.blocks += int64(whi - wlo)
+		ws.blocks += int64(hi - lo)
+	}
+}
+
+// buildChunkTasks groups the current chunk's positions by shard (a stable
+// counting sort into s.chunkPos) and splits each shard group into pieces of
+// at most ceil(|chunk|/W), so a W-worker fan-out stays balanced while each
+// piece touches a single shard's videos. Per-shard block counts are tallied
+// here, on the driver goroutine, so the telemetry is deterministic. No
+// allocations: every buffer was sized in initShards/initRun.
+func (s *solver) buildChunkTasks() {
+	S := len(s.shards)
+	cnt, head := s.shardCnt, s.shardHead
+	for si := 0; si < S; si++ {
+		cnt[si] = 0
+	}
+	for _, vi := range s.chunk {
+		cnt[s.shardOf[vi]]++
+	}
+	var sum int32
+	for si := 0; si < S; si++ {
+		head[si] = sum
+		sum += cnt[si]
+		s.shardBlocks[si] += int64(cnt[si])
+	}
+	for c, vi := range s.chunk {
+		si := s.shardOf[vi]
+		s.chunkPos[head[si]] = int32(c)
+		head[si]++
+	}
+	per := (len(s.chunk) + s.opts.Workers - 1) / s.opts.Workers
+	if per < 1 {
+		per = 1
+	}
+	s.tasks = s.tasks[:0]
+	pos := 0
+	for si := 0; si < S; si++ {
+		g := int(cnt[si])
+		for g > 0 {
+			sz := per
+			if sz > g {
+				sz = g
+			}
+			s.tasks = append(s.tasks, par.Task{Tag: si, Lo: pos, Hi: pos + sz})
+			pos += sz
+			g -= sz
+		}
 	}
 }
 
@@ -860,9 +1045,11 @@ func (s *solver) descentPass() bool {
 		s.computeDuals(s.q)
 		s.computePathDuals(s.q)
 
-		// Parallel block optimization on the shared pool.
+		// Parallel block optimization on the shared pool, dispatched as
+		// shard-affine position ranges.
 		s.chunk = s.perm[lo:hi]
-		if err := s.pool.Run(s.ctx, len(s.chunk), s.chunkFn); err != nil {
+		s.buildChunkTasks()
+		if err := s.pool.RunTasks(s.ctx, s.tasks, s.chunkTaskFn); err != nil {
 			return false // cancelled before dispatch; chunkSols is stale
 		}
 
@@ -1143,6 +1330,23 @@ func (s *solver) finishTrace(res *Result) {
 		Converged:  res.Converged,
 		Rounded:    res.Rounded,
 	})
+	// Per-shard summaries ride only on sharded solves, so an unsharded
+	// solve's trace stays byte-identical to pre-shard releases.
+	if len(s.shards) > 1 {
+		for si, sp := range s.shards {
+			var nnz int64
+			for vi := sp.lo; vi < sp.hi; vi++ {
+				nnz += int64(s.inst.Demands[vi].NNZ())
+			}
+			rec.RecordEPFShard(obs.EPFShard{
+				Stream: s.opts.TraceStream,
+				Shard:  si,
+				Videos: sp.hi - sp.lo,
+				NNZ:    nnz,
+				Blocks: s.shardBlocks[si],
+			})
+		}
+	}
 	rec.PublishKV("epf_stats."+s.opts.TraceStream, res.Stats)
 	rec.Flush() //nolint:errcheck // sink errors surface from the caller's Close
 }
@@ -1612,25 +1816,8 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 	if wantGrad && s.lbSols == nil {
 		s.lbSols = make([]intSol, numBlocks)
 	}
-	err := s.pool.Run(s.ctx, numBlocks, func(w, lo, hi int) {
-		ws := s.scratch.Get(w)
-		if ws.used == nil {
-			ws.used = make([]bool, s.n)
-		}
-		for vi := lo; vi < hi; vi++ {
-			if (vi-lo)%64 == 0 && s.ctx.Err() != nil {
-				return
-			}
-			s.buildBlockProblem(vi, q, &ws.prob)
-			lb, _ := ws.fs.DualAscent(&ws.prob)
-			s.lbBuf[vi] = lb
-			if wantGrad {
-				ws.fs.SolveQuickInto(&ws.prob, &ws.fsol, nil)
-				toIntSolInto(&ws.fsol, &s.inst.Demands[vi], ws.used, &s.lbSols[vi])
-			}
-			ws.lbBlocks++
-		}
-	})
+	s.lbQ, s.lbWantGrad = q, wantGrad
+	err := s.pool.RunTasks(s.ctx, s.lbTasks, s.lbTaskFn)
 	if err != nil || s.ctx.Err() != nil {
 		return math.Inf(-1), nil
 	}

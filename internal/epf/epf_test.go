@@ -185,6 +185,19 @@ func TestZeroDemandVideosPlaced(t *testing.T) {
 // randomInstance builds a medium random instance for convergence tests.
 func randomInstance(t *testing.T, seed int64, nodes, videos int, diskFactor float64, linkCap float64) *mip.Instance {
 	t.Helper()
+	g, disk, caps, demands := randomProblem(t, seed, nodes, videos, diskFactor, linkCap)
+	inst, err := mip.NewInstance(g, disk, caps, 1, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// randomProblem returns the raw pieces of randomInstance's problem so tests
+// can assemble the same instance through alternative construction paths
+// (e.g. the streaming InstanceBuilder).
+func randomProblem(t *testing.T, seed int64, nodes, videos int, diskFactor float64, linkCap float64) (*topology.Graph, []float64, []float64, []mip.VideoDemand) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	g := topology.Random(nodes, 1.0, seed)
 	demands := make([]mip.VideoDemand, videos)
@@ -225,11 +238,7 @@ func randomInstance(t *testing.T, seed int64, nodes, videos int, diskFactor floa
 	for i := range disk {
 		disk[i] = totalSize * diskFactor / float64(nodes)
 	}
-	inst, err := mip.NewInstance(g, disk, uniformCaps(g, linkCap), 1, demands)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return inst
+	return g, disk, uniformCaps(g, linkCap), demands
 }
 
 func TestSolveMediumInstance(t *testing.T) {

@@ -354,13 +354,16 @@ func (s *solver) integerStepImproves(vi int, cur *blockSol, ns *intSol, curCost 
 				continue
 			}
 			path := s.inst.G.Path(int(f.I), j)
-			for t := 0; t < s.T; t++ {
-				flow := d.RateMbps * d.Conc[t][k] * f.V
+			// CSR nonzeros in ascending t: identical visit order to the dense
+			// scan, so the map accumulation is bit-identical.
+			ts, fv := d.ConcNZ(k)
+			for ti, tt := range ts {
+				flow := d.RateMbps * fv[ti] * f.V
 				if flow == 0 {
 					continue
 				}
 				for _, l := range path {
-					curRows[s.rowLink(int(l), t)] += flow
+					curRows[s.rowLink(int(l), int(tt))] += flow
 				}
 			}
 		}
@@ -372,13 +375,14 @@ func (s *solver) integerStepImproves(vi int, cur *blockSol, ns *intSol, curCost 
 			continue
 		}
 		path := s.inst.G.Path(int(i), j)
-		for t := 0; t < s.T; t++ {
-			flow := d.RateMbps * d.Conc[t][k]
+		ts, fv := d.ConcNZ(k)
+		for ti, tt := range ts {
+			flow := d.RateMbps * fv[ti]
 			if flow == 0 {
 				continue
 			}
 			for _, l := range path {
-				newRows[s.rowLink(int(l), t)] += flow
+				newRows[s.rowLink(int(l), int(tt))] += flow
 			}
 		}
 	}

@@ -1,0 +1,147 @@
+package epf
+
+import (
+	"testing"
+
+	"vodplace/internal/mip"
+)
+
+// identicalDuals reports bit-identity of two dual vectors.
+func identicalDuals(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The sharding invariant: shards decompose scheduling and telemetry, never
+// numerics. Any shard count at any worker count must reproduce the unsharded
+// single-worker solve bit for bit — objective, bound, duals, and solution.
+func TestSolveShardCountInvariance(t *testing.T) {
+	base := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+		Options{Seed: 5, MaxPasses: 30, Workers: 1})
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, workers := range []int{1, 4} {
+			res := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+				Options{Seed: 5, MaxPasses: 30, Workers: workers, Shards: shards})
+			if res.Objective != base.Objective || res.LowerBound != base.LowerBound {
+				t.Errorf("shards=%d workers=%d: (%.17g, %.17g) vs baseline (%.17g, %.17g)",
+					shards, workers, res.Objective, res.LowerBound, base.Objective, base.LowerBound)
+			}
+			if !identicalDuals(base.RowDuals, res.RowDuals) {
+				t.Errorf("shards=%d workers=%d: row duals differ from baseline", shards, workers)
+			}
+			if !identicalSolutions(base.Sol, res.Sol) {
+				t.Errorf("shards=%d workers=%d: solutions differ from baseline", shards, workers)
+			}
+			if res.Passes != base.Passes || res.Converged != base.Converged {
+				t.Errorf("shards=%d workers=%d: trajectory diverged (passes %d vs %d)",
+					shards, workers, res.Passes, base.Passes)
+			}
+			// A forced re-partition packs ceil(videos/shards) videos per
+			// shard, so the resolved count may fall below the request on a
+			// tiny catalog. The 60-video instance resolves all four counts.
+			per := (60 + shards - 1) / shards
+			if want := (60 + per - 1) / per; res.Stats.Shards != want {
+				t.Errorf("shards=%d: Stats.Shards = %d, want %d", shards, res.Stats.Shards, want)
+			}
+		}
+	}
+}
+
+func TestSolveIntegerShardCountInvariance(t *testing.T) {
+	base, err := SolveInteger(randomInstance(t, 9, 8, 60, 2.0, 100),
+		Options{Seed: 5, MaxPasses: 30, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 7} {
+		res, err := SolveInteger(randomInstance(t, 9, 8, 60, 2.0, 100),
+			Options{Seed: 5, MaxPasses: 30, Workers: 4, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective != base.Objective || res.LowerBound != base.LowerBound {
+			t.Errorf("shards=%d: (%.17g, %.17g) vs baseline (%.17g, %.17g)",
+				shards, res.Objective, res.LowerBound, base.Objective, base.LowerBound)
+		}
+		if !identicalSolutions(base.Sol, res.Sol) {
+			t.Errorf("shards=%d: rounded solutions differ from baseline", shards)
+		}
+	}
+}
+
+// An instance sealed by the streaming builder carries its own shard layout;
+// Options.Shards == 0 adopts it. Adopted layouts must also be numerically
+// invisible: the solve matches the batch-built unsharded instance bit for bit.
+func TestSolveAdoptsInstanceShardLayout(t *testing.T) {
+	base := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+		Options{Seed: 5, MaxPasses: 30, Workers: 1})
+	for _, shardSize := range []int{3, 10, 25} {
+		g, disk, caps, demands := randomProblem(t, 9, 8, 60, 2.0, 100)
+		b, err := mip.NewInstanceBuilder(g, disk, caps, 1, shardSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi := range demands {
+			if err := b.Add(&demands[vi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inst, err := b.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantShards := (len(demands) + shardSize - 1) / shardSize
+		if ns := inst.NumShards(); ns != wantShards {
+			t.Fatalf("shardSize=%d: instance has %d shards, want %d", shardSize, ns, wantShards)
+		}
+		res := mustSolve(t, inst, Options{Seed: 5, MaxPasses: 30, Workers: 4})
+		if res.Objective != base.Objective || res.LowerBound != base.LowerBound {
+			t.Errorf("shardSize=%d: (%.17g, %.17g) vs baseline (%.17g, %.17g)",
+				shardSize, res.Objective, res.LowerBound, base.Objective, base.LowerBound)
+		}
+		if !identicalDuals(base.RowDuals, res.RowDuals) {
+			t.Errorf("shardSize=%d: row duals differ from baseline", shardSize)
+		}
+		if !identicalSolutions(base.Sol, res.Sol) {
+			t.Errorf("shardSize=%d: solutions differ from baseline", shardSize)
+		}
+		if wantShards > 1 && res.Stats.Shards != wantShards {
+			t.Errorf("shardSize=%d: Stats.Shards = %d, want %d", shardSize, res.Stats.Shards, wantShards)
+		}
+	}
+}
+
+// Warm starts must survive sharding in both directions: a sharded solve's
+// carryover seeds an unsharded one and vice versa, with the warm trajectory
+// itself shard-invariant.
+func TestWarmStartShardInvariance(t *testing.T) {
+	coldOpts := Options{Seed: 5, MaxPasses: 20, Workers: 1}
+	cold := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100), coldOpts)
+	shardedCold := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+		Options{Seed: 5, MaxPasses: 20, Workers: 4, Shards: 4})
+
+	warmFromPlain := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+		Options{Seed: 5, MaxPasses: 20, Workers: 4, Shards: 4, Warm: cold.Warm})
+	warmFromSharded := mustSolve(t, randomInstance(t, 9, 8, 60, 2.0, 100),
+		Options{Seed: 5, MaxPasses: 20, Workers: 1, Warm: shardedCold.Warm})
+
+	if warmFromPlain.Objective != warmFromSharded.Objective ||
+		warmFromPlain.LowerBound != warmFromSharded.LowerBound {
+		t.Errorf("warm cross-over diverges: sharded-from-plain (%.17g, %.17g) vs plain-from-sharded (%.17g, %.17g)",
+			warmFromPlain.Objective, warmFromPlain.LowerBound,
+			warmFromSharded.Objective, warmFromSharded.LowerBound)
+	}
+	if !identicalSolutions(warmFromPlain.Sol, warmFromSharded.Sol) {
+		t.Error("warm cross-over solutions differ")
+	}
+	if len(shardedCold.Warm.Shards) != 4 {
+		t.Errorf("sharded warm state carries %d shard spans, want 4", len(shardedCold.Warm.Shards))
+	}
+}

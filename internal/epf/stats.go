@@ -18,6 +18,9 @@ import (
 type Stats struct {
 	// Workers is the pool size the solve ran with.
 	Workers int
+	// Shards is the number of catalog shards the block schedule was grouped
+	// by (1 on unsharded solves).
+	Shards int
 	// Passes is the number of gradient-descent passes performed.
 	Passes int
 	// BlocksOptimized counts block subproblem solves in the descent loop
@@ -62,6 +65,9 @@ type Stats struct {
 func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "workers %d, passes %d\n", st.Workers, st.Passes)
+	if st.Shards > 1 {
+		fmt.Fprintf(&b, "shards %d\n", st.Shards)
+	}
 	fmt.Fprintf(&b, "blocks optimized %d, lb block solves %d, lb evals %d, polish rounds %d\n",
 		st.BlocksOptimized, st.LBBlockSolves, st.LBEvals, st.Polishes)
 	fmt.Fprintf(&b, "dual refreshes %d, line searches %d\n", st.DualRefreshes, st.LineSearches)

@@ -30,7 +30,10 @@ type WarmVideo struct {
 type WarmState struct {
 	// RowDuals is the coupling-row dual vector that certified the previous
 	// solve's lower bound (layout as Result.RowDuals). It aliases the
-	// producing Result's RowDuals slice; treat it as read-only.
+	// producing Result's RowDuals slice; treat it as read-only. The layout
+	// is shard-independent — duals are keyed by coupling row, never by
+	// shard — so warm states move freely between sharded and unsharded
+	// solves and across shard counts.
 	RowDuals []float64
 	// Delta is the penalty scale δ the previous LP descent ended at.
 	Delta float64
@@ -39,6 +42,18 @@ type WarmState struct {
 	TauHint float64
 	// Videos maps catalog video ID → final open set.
 	Videos map[int]WarmVideo
+	// Shards records the producing solve's shard layout (video-index ranges,
+	// in order). Purely informational carryover for telemetry and debugging:
+	// consuming solves resolve their own layout from their instance and
+	// options and never read this field, so a stale layout can't skew a
+	// warm solve.
+	Shards []WarmShard
+}
+
+// WarmShard is one catalog shard [Lo, Hi) of the solve that produced a
+// WarmState, in that solve's video-index space.
+type WarmShard struct {
+	Lo, Hi int
 }
 
 // exportWarm captures the solver's final state as a WarmState. Called from
@@ -50,6 +65,10 @@ func (s *solver) exportWarm(res *Result) *WarmState {
 		RowDuals: res.RowDuals,
 		Delta:    s.lpDelta,
 		Videos:   make(map[int]WarmVideo, len(s.sol)),
+		Shards:   make([]WarmShard, len(s.shards)),
+	}
+	for si, sp := range s.shards {
+		w.Shards[si] = WarmShard{Lo: sp.lo, Hi: sp.hi}
 	}
 	if s.tauN > 0 {
 		w.TauHint = s.tauSum / float64(s.tauN)

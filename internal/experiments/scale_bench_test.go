@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"vodplace/internal/core"
+	"vodplace/internal/demand"
+	"vodplace/internal/epf"
+	"vodplace/internal/topology"
+	"vodplace/internal/workload"
+
+	"vodplace/internal/catalog"
+)
+
+// The scale sweep: instance construction and a short solve at 1k/10k/100k
+// videos, recorded in BENCH_scale.json by `make bench-json`. Construction
+// goes through the streaming demand→builder path with a bounded shard size,
+// so its B/op column is the direct regression gate for the sharded pipeline's
+// memory contract (peak staging O(shard), not O(catalog)); the solve rows
+// track how block-sweep cost scales with the catalog dimension. Pass caps are
+// deliberately tiny — the sweep measures per-pass cost at scale, not
+// convergence.
+
+// scaleShardSize keeps roughly catalog/64 videos per shard without dropping
+// below one mid-size shard — enough shards that scheduling and telemetry are
+// exercised, large enough that per-shard overhead stays invisible.
+const scaleShardSize = 256
+
+// scaleWorkload generates the library and trace for a scale point once per
+// benchmark (outside the timed loop).
+func scaleWorkload(b *testing.B, g *topology.Graph, videos int) (*workload.Trace, *demand.Builder) {
+	b.Helper()
+	lib := catalog.Generate(catalog.Config{NumVideos: videos, Weeks: 2}, 1)
+	tr := workload.GenerateTrace(lib, workload.TraceConfig{
+		Days: 8, NumVHOs: g.NumNodes(), RequestsPerVideoPerDay: 1,
+	}, 2)
+	db := &demand.Builder{
+		G: g, Lib: lib,
+		DiskGB:      core.UniformDisk(lib, g.NumNodes(), 2.0),
+		LinkCapMbps: core.UniformLinks(g, 20*float64(videos)/float64(g.NumNodes())),
+		Cfg:         demand.Config{HorizonDays: 1, Shards: (videos + scaleShardSize - 1) / scaleShardSize},
+	}
+	return tr, db
+}
+
+func benchmarkScaleBuild(b *testing.B, videos int) {
+	g := topology.Random(10, 1.2, 1)
+	tr, db := scaleWorkload(b, g, videos)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := db.Instance(tr, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(inst.NumShards()), "shards/op")
+	}
+}
+
+func benchmarkScaleSolve(b *testing.B, videos, passes int) {
+	g := topology.Random(10, 1.2, 1)
+	tr, db := scaleWorkload(b, g, videos)
+	inst, err := db.Instance(tr, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *epf.Result
+	for i := 0; i < b.N; i++ {
+		r, err := epf.SolveInteger(inst, epf.Options{Seed: 1, MaxPasses: passes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.StopTimer()
+	if res.Sol == nil || len(res.Sol.Videos) != inst.NumVideos() {
+		b.Fatal("solve dropped videos")
+	}
+}
+
+func BenchmarkScaleBuild1k(b *testing.B)   { benchmarkScaleBuild(b, 1_000) }
+func BenchmarkScaleBuild10k(b *testing.B)  { benchmarkScaleBuild(b, 10_000) }
+func BenchmarkScaleBuild100k(b *testing.B) { benchmarkScaleBuild(b, 100_000) }
+
+func BenchmarkScaleSolve1k(b *testing.B)   { benchmarkScaleSolve(b, 1_000, 4) }
+func BenchmarkScaleSolve10k(b *testing.B)  { benchmarkScaleSolve(b, 10_000, 3) }
+func BenchmarkScaleSolve100k(b *testing.B) { benchmarkScaleSolve(b, 100_000, 2) }

@@ -9,7 +9,6 @@
 package mip
 
 import (
-	"fmt"
 	"math"
 
 	"vodplace/internal/topology"
@@ -51,26 +50,57 @@ type VideoDemand struct {
 	Js []int32
 	// Agg[k] is a_j^m for j = Js[k].
 	Agg []float64
-	// Conc[t][k] is f_j^m(t) for j = Js[k] and time slice t.
+	// Conc[t][k] is f_j^m(t) for j = Js[k] and time slice t. Conc is an
+	// input-side staging field: construction (NewInstance, InstanceBuilder.Add)
+	// reads it once to build the CSR view below and then drops it, so demands
+	// of a built instance carry only their nonzeros — readers use ConcNZ or
+	// ConcAt. Hand-built instances that skip construction may keep Conc dense;
+	// the evaluators in this package fall back to it when no CSR exists.
 	Conc [][]float64
 
-	// Sparse view of Conc in CSR form, built by NewInstance: for demand
+	// Sparse view of Conc in CSR form, built at construction: for demand
 	// index k, the slices t with f_j^m(t) ≠ 0 are concT[concOff[k]:concOff[k+1]]
 	// (ascending) with matching values in concV. Most videos are active in
 	// only a few enforced slices, so the solver's hot kernels iterate these
-	// instead of scanning all of Conc.
+	// instead of scanning a dense matrix.
 	concOff []int32
 	concT   []int32
 	concV   []float64
 }
 
 // ConcNZ returns the nonzero time slices for demand index k (ascending) and
-// their concurrency values, as parallel slices. Valid only on demands of an
-// Instance returned by NewInstance; callers must not modify the results.
+// their concurrency values, as parallel slices. Valid only on demands of a
+// constructed Instance (NewInstance or InstanceBuilder); callers must not
+// modify the results.
 func (d *VideoDemand) ConcNZ(k int) (slices []int32, values []float64) {
 	lo, hi := d.concOff[k], d.concOff[k+1]
 	return d.concT[lo:hi:hi], d.concV[lo:hi:hi]
 }
+
+// ConcAt returns f_j^m(t) for demand index k, scanning the CSR row (falling
+// back to the dense staging on hand-built demands without one). Per-column
+// nonzero counts are tiny — |T| is 2 in the deployed configuration — so the
+// linear scan is the right trade for consumers that genuinely need random
+// access, like the dense-simplex constraint builder.
+func (d *VideoDemand) ConcAt(t, k int) float64 {
+	if d.concOff == nil {
+		return d.Conc[t][k]
+	}
+	ts, vs := d.ConcNZ(k)
+	for i, tt := range ts {
+		if int(tt) == t {
+			return vs[i]
+		}
+		if int(tt) > t {
+			break
+		}
+	}
+	return 0
+}
+
+// NNZ returns the number of stored concurrency nonzeros across all of the
+// demand's offices and slices.
+func (d *VideoDemand) NNZ() int { return len(d.concT) }
 
 // buildConcCSR fills the sparse concurrency view from Conc.
 func (d *VideoDemand) buildConcCSR() {
@@ -119,6 +149,12 @@ type Instance struct {
 	// Demands holds one entry per video in the instance. Videos with no
 	// demand still require at least one stored copy (constraints (3)+(4)).
 	Demands []VideoDemand
+	// Shards partitions Demands into contiguous video ranges — the catalog
+	// decomposition the solver stack schedules and accounts by. Instances
+	// from NewInstance carry a single shard spanning the whole catalog;
+	// InstanceBuilder seals one shard per ShardSize videos. Sharding is a
+	// data/scheduling decomposition only: it never changes numeric output.
+	Shards []InstanceShard
 	// Alpha and Beta are the cost coefficients of (1): c_ij = α|P_ij| + β.
 	Alpha, Beta float64
 
@@ -146,82 +182,23 @@ type Instance struct {
 
 // NewInstance validates and finalizes an instance. The graph must be built;
 // capacities must be positive; demand entries must be internally consistent.
+//
+// NewInstance is a thin wrapper over InstanceBuilder: it streams the given
+// demands through the same validation and CSR conversion (adopting each
+// entry's Js/Agg slices rather than copying them) and seals a single shard.
+// The dense Conc staging rows are not retained on the result.
 func NewInstance(g *topology.Graph, diskGB, linkCapMbps []float64, slices int, demands []VideoDemand) (*Instance, error) {
-	if g == nil || !g.Built() {
-		return nil, fmt.Errorf("mip: graph must be non-nil and built")
+	b, err := NewInstanceBuilder(g, diskGB, linkCapMbps, slices, 0)
+	if err != nil {
+		return nil, err
 	}
-	n := g.NumNodes()
-	if len(diskGB) != n {
-		return nil, fmt.Errorf("mip: %d disk capacities for %d offices", len(diskGB), n)
-	}
-	for i, d := range diskGB {
-		if d <= 0 {
-			return nil, fmt.Errorf("mip: disk capacity at office %d must be positive, got %g", i, d)
-		}
-	}
-	if len(linkCapMbps) != g.NumLinks() {
-		return nil, fmt.Errorf("mip: %d link capacities for %d links", len(linkCapMbps), g.NumLinks())
-	}
-	for l, b := range linkCapMbps {
-		if b <= 0 {
-			return nil, fmt.Errorf("mip: capacity of link %d must be positive, got %g", l, b)
-		}
-	}
-	if slices < 0 {
-		return nil, fmt.Errorf("mip: negative slice count %d", slices)
-	}
-	var totalSize float64
+	b.demands = make([]VideoDemand, 0, len(demands))
 	for vi := range demands {
-		d := &demands[vi]
-		if d.SizeGB <= 0 {
-			return nil, fmt.Errorf("mip: video %d has non-positive size %g", d.Video, d.SizeGB)
+		if err := b.add(&demands[vi], false); err != nil {
+			return nil, err
 		}
-		if d.RateMbps <= 0 {
-			return nil, fmt.Errorf("mip: video %d has non-positive rate %g", d.Video, d.RateMbps)
-		}
-		if len(d.Agg) != len(d.Js) {
-			return nil, fmt.Errorf("mip: video %d has %d agg entries for %d offices", d.Video, len(d.Agg), len(d.Js))
-		}
-		if len(d.Conc) != slices {
-			return nil, fmt.Errorf("mip: video %d has %d concurrency slices, want %d", d.Video, len(d.Conc), slices)
-		}
-		for t := range d.Conc {
-			if len(d.Conc[t]) != len(d.Js) {
-				return nil, fmt.Errorf("mip: video %d slice %d has %d entries for %d offices", d.Video, t, len(d.Conc[t]), len(d.Js))
-			}
-		}
-		for k, j := range d.Js {
-			if j < 0 || int(j) >= n {
-				return nil, fmt.Errorf("mip: video %d demand office %d out of range", d.Video, j)
-			}
-			if k > 0 && d.Js[k-1] >= j {
-				return nil, fmt.Errorf("mip: video %d demand offices not strictly ascending", d.Video)
-			}
-			if d.Agg[k] < 0 {
-				return nil, fmt.Errorf("mip: video %d has negative demand at office %d", d.Video, j)
-			}
-		}
-		totalSize += d.SizeGB
-		d.buildConcCSR()
 	}
-	var totalDisk float64
-	for _, d := range diskGB {
-		totalDisk += d
-	}
-	if totalSize > totalDisk {
-		return nil, fmt.Errorf("mip: library needs %.1f GB for one copy of each video but aggregate disk is %.1f GB", totalSize, totalDisk)
-	}
-	inst := &Instance{
-		G:           g,
-		DiskGB:      diskGB,
-		LinkCapMbps: linkCapMbps,
-		Slices:      slices,
-		Demands:     demands,
-		Alpha:       1,
-		Beta:        0,
-	}
-	inst.cacheHops()
-	return inst, nil
+	return b.Seal()
 }
 
 func (inst *Instance) cacheHops() {
@@ -392,6 +369,22 @@ func (s *Solution) LinkUsage() [][]float64 {
 					continue
 				}
 				path := s.Inst.G.Path(int(f.I), j)
+				if d.concOff != nil {
+					// CSR rows visit the same nonzeros in the same ascending-t
+					// order the dense loop did, so the accumulation is
+					// bit-identical.
+					ts, fv := d.ConcNZ(k)
+					for i, tt := range ts {
+						flow := d.RateMbps * fv[i] * f.V
+						if flow == 0 {
+							continue
+						}
+						for _, l := range path {
+							use[int(tt)][l] += flow
+						}
+					}
+					continue
+				}
 				for t := 0; t < s.Inst.Slices; t++ {
 					flow := d.RateMbps * d.Conc[t][k] * f.V
 					if flow == 0 {

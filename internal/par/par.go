@@ -45,6 +45,22 @@ type Pool struct {
 	// Run is on the solver's zero-allocation steady-state path. Safe because
 	// a Pool serializes fan-outs by contract.
 	done sync.WaitGroup
+
+	// tasks/taskFn stage the current RunTasks fan-out; fields rather than
+	// closure captures so RunTasks allocates nothing in steady state (the
+	// single taskRunner closure below is created once in New). Safe because
+	// a Pool serializes fan-outs by contract.
+	tasks      []Task
+	taskFn     func(worker, tag, lo, hi int)
+	taskRunner func(worker, lo, hi int)
+}
+
+// Task is one tagged contiguous index range for RunTasks. Tag identifies the
+// logical group the range belongs to (a catalog shard in the EPF solver), so
+// one fan-out can interleave ranges from many groups while the callee still
+// knows which group each range serves.
+type Task struct {
+	Tag, Lo, Hi int
 }
 
 // New returns a pool with n workers; n < 1 selects runtime.NumCPU().
@@ -64,6 +80,16 @@ func New(n int) *Pool {
 				j.done.Done()
 			}
 		}(w, ch)
+	}
+	// One strided runner shared by every RunTasks fan-out: worker w executes
+	// tasks w, w+W, w+2W, … so task order within a worker follows slice order
+	// (groups stay contiguous per worker) and no per-call closure is needed.
+	p.taskRunner = func(w, _, _ int) {
+		ts, fn := p.tasks, p.taskFn
+		for i := w; i < len(ts); i += p.workers {
+			t := ts[i]
+			fn(w, t.Tag, t.Lo, t.Hi)
+		}
 	}
 	return p
 }
@@ -104,6 +130,45 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, lo, hi int)) erro
 		p.jobs[w] <- job{fn: fn, lo: lo, hi: hi, done: &p.done}
 	}
 	p.done.Wait()
+	return nil
+}
+
+// RunTasks executes an explicit task list: fn(worker, tag, lo, hi) runs once
+// per task, with tasks assigned to workers in strided slice order (task i on
+// worker i mod Workers()), blocking until all complete. With one worker the
+// tasks run inline in slice order. Like Run, it allocates nothing in steady
+// state and returns ctx.Err() without dispatching when ctx is already
+// cancelled.
+//
+// The same determinism contract as Run applies: results go to caller-owned,
+// index-addressed slots and reductions happen in index order on the caller's
+// goroutine, so neither the worker count nor the task decomposition changes
+// numeric output. RunTasks exists for callers that want locality-aware
+// decompositions (e.g. shard-affine ranges) rather than Run's flat split.
+func (p *Pool) RunTasks(ctx context.Context, tasks []Task, fn func(worker, tag, lo, hi int)) error {
+	if len(tasks) == 0 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.workers == 1 {
+		for _, t := range tasks {
+			fn(0, t.Tag, t.Lo, t.Hi)
+		}
+		return nil
+	}
+	p.tasks, p.taskFn = tasks, fn
+	nw := p.workers
+	if len(tasks) < nw {
+		nw = len(tasks)
+	}
+	for w := 0; w < nw; w++ {
+		p.done.Add(1)
+		p.jobs[w] <- job{fn: p.taskRunner, done: &p.done}
+	}
+	p.done.Wait()
+	p.tasks, p.taskFn = nil, nil
 	return nil
 }
 

@@ -92,6 +92,132 @@ func TestRunCancelledContext(t *testing.T) {
 	}
 }
 
+func TestRunTasksCoversEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{1, 2, 7, 64, 500} {
+			// Tagged tasks of uneven sizes covering [0, n).
+			var tasks []Task
+			for lo, tag := 0, 0; lo < n; tag++ {
+				hi := lo + 1 + (lo % 5)
+				if hi > n {
+					hi = n
+				}
+				tasks = append(tasks, Task{Tag: tag, Lo: lo, Hi: hi})
+				lo = hi
+			}
+			hits := make([]int32, n)
+			tagSeen := make([]int32, len(tasks))
+			err := p.RunTasks(context.Background(), tasks, func(_, tag, lo, hi int) {
+				atomic.AddInt32(&tagSeen[tag], 1)
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+			for tag, h := range tagSeen {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: tag %d ran %d times", workers, n, tag, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunTasksSingleWorkerRunsInSliceOrder(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	tasks := []Task{{Tag: 2, Lo: 4, Hi: 6}, {Tag: 0, Lo: 0, Hi: 2}, {Tag: 1, Lo: 2, Hi: 4}}
+	var order []int
+	if err := p.RunTasks(context.Background(), tasks, func(w, tag, _, _ int) {
+		if w != 0 {
+			t.Errorf("worker %d on a single-worker pool", w)
+		}
+		order = append(order, tag)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 2 || order[1] != 0 || order[2] != 1 {
+		t.Errorf("tasks ran in order %v, want slice order [2 0 1]", order)
+	}
+}
+
+func TestRunTasksEmptyAndFewerThanWorkers(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	if err := p.RunTasks(context.Background(), nil, func(_, _, _, _ int) {
+		t.Error("fn invoked for empty task list")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Fewer tasks than workers: every task still runs exactly once.
+	var count int32
+	tasks := []Task{{Tag: 0, Lo: 0, Hi: 3}, {Tag: 1, Lo: 3, Hi: 5}}
+	if err := p.RunTasks(context.Background(), tasks, func(_, _, _, _ int) {
+		atomic.AddInt32(&count, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("%d task executions, want 2", count)
+	}
+}
+
+func TestRunTasksCancelledContext(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := p.RunTasks(ctx, []Task{{Lo: 0, Hi: 10}}, func(_, _, _, _ int) { called = true })
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("fn dispatched despite cancelled context")
+	}
+}
+
+func TestRunTasksInterleavesWithRun(t *testing.T) {
+	// A pool must serve Run and RunTasks fan-outs back to back: the staged
+	// task state is cleared between calls.
+	p := New(3)
+	defer p.Close()
+	for round := 0; round < 20; round++ {
+		var sum int64
+		if err := p.Run(context.Background(), 10, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&sum, int64(i))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum != 45 {
+			t.Fatalf("round %d: Run sum %d, want 45", round, sum)
+		}
+		var tsum int64
+		tasks := []Task{{Tag: 0, Lo: 0, Hi: 5}, {Tag: 1, Lo: 5, Hi: 10}}
+		if err := p.RunTasks(context.Background(), tasks, func(_, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&tsum, int64(i))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if tsum != 45 {
+			t.Fatalf("round %d: RunTasks sum %d, want 45", round, tsum)
+		}
+	}
+}
+
 func TestPoolReuseAcrossRuns(t *testing.T) {
 	p := New(3)
 	defer p.Close()

@@ -97,7 +97,7 @@ func BuildPlacementLP(inst *mip.Instance) (*LP, *VarMap, error) {
 			d := &inst.Demands[vi]
 			for k := range d.Js {
 				j := int(d.Js[k])
-				f := d.Conc[t][k]
+				f := d.ConcAt(t, k)
 				if f == 0 {
 					continue
 				}

@@ -93,12 +93,13 @@ func CertifyLowerBound(inst *mip.Instance, rowDuals []float64) (float64, error) 
 			j := int(d.Js[k])
 			coef := d.SizeGB * d.Agg[k]
 			row := prob.Row(k)
+			// Ascending-t CSR nonzeros: the same terms, in the same order, as
+			// the dense t-scan, so the certified costs are bit-identical.
+			ts, fv := d.ConcNZ(k)
 			for i := 0; i < n; i++ {
 				c := coef * inst.Cost(i, j)
-				for t := 0; t < T; t++ {
-					if f := d.Conc[t][k]; f != 0 {
-						c += d.RateMbps * f * pathDual[t][i*n+j]
-					}
+				for ti, tt := range ts {
+					c += d.RateMbps * fv[ti] * pathDual[tt][i*n+j]
 				}
 				row[i] = c
 			}

@@ -25,6 +25,12 @@ type Options struct {
 	// EPF configures the approximate solver under test. A zero MaxPasses is
 	// raised to 200 so small instances converge.
 	EPF epf.Options
+	// Shards is the shard count of the differential re-solve: every instance
+	// is solved unsharded and again with this many catalog shards, and the
+	// two results must agree bitwise (objective, lower bound, row duals) and
+	// certify the same lower bound. 0 selects 3; negative disables the
+	// sharded leg.
+	Shards int
 	// LPBand is the allowed relative deviation of the EPF objective from the
 	// exact LP optimum, in units of the solver's ε-feasibility slack: the
 	// objective must land in [opt·(1−LPBand), opt·(1+LPBand)]. Default 0.10,
@@ -52,6 +58,9 @@ func (o Options) defaults() Options {
 	}
 	if o.LPBand == 0 {
 		o.LPBand = 0.10
+	}
+	if o.Shards == 0 {
+		o.Shards = 3
 	}
 	return o
 }
@@ -175,6 +184,39 @@ func diffInstance(rep *DiffReport, seed int64, o Options) error {
 	if res.Objective > opt*(1+o.LPBand)+CertTol || res.Objective < opt*(1-o.LPBand)-CertTol {
 		rep.failf("seed %d: EPF objective %g outside ±%.0f%% band around LP optimum %g (violation %+v)",
 			seed, res.Objective, 100*o.LPBand, opt, res.Violation)
+	}
+
+	// Sharded re-solve: the shard decomposition must not change a single bit
+	// of the result, and the sharded duals must certify the same bound the
+	// unsharded audit certified. This is the sharding determinism contract
+	// checked end-to-end, not just within the solver's own tests.
+	if o.Shards > 0 {
+		shOpts := epfOpts
+		shOpts.Shards = o.Shards
+		shRes, err := epf.Solve(inst, shOpts)
+		if err != nil {
+			return fmt.Errorf("epf sharded: %w", err)
+		}
+		if shRes.Objective != res.Objective || shRes.LowerBound != res.LowerBound {
+			rep.failf("seed %d: sharded solve (%d shards) diverged: obj %g vs %g, lb %g vs %g",
+				seed, o.Shards, shRes.Objective, res.Objective, shRes.LowerBound, res.LowerBound)
+		}
+		for r := range res.RowDuals {
+			if shRes.RowDuals[r] != res.RowDuals[r] {
+				rep.failf("seed %d: sharded solve row dual %d differs: %g vs %g", seed, r, shRes.RowDuals[r], res.RowDuals[r])
+				break
+			}
+		}
+		certU, errU := CertifyLowerBound(inst, res.RowDuals)
+		certS, errS := CertifyLowerBound(inst, shRes.RowDuals)
+		switch {
+		case errU != nil:
+			rep.failf("seed %d: unsharded certificate: %v", seed, errU)
+		case errS != nil:
+			rep.failf("seed %d: sharded certificate: %v", seed, errS)
+		case certU != certS:
+			rep.failf("seed %d: certified bounds diverge across sharding: %g vs %g", seed, certU, certS)
+		}
 	}
 
 	intRes, err := epf.SolveInteger(inst, epfOpts)

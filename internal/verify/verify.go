@@ -180,13 +180,16 @@ func CheckSolution(sol *mip.Solution) *Report {
 				}
 				objective += d.SizeGB * d.Agg[k] * inst.Cost(int(f.I), j) * f.V
 				if int(f.I) != j && f.V != 0 {
-					for t := 0; t < inst.Slices; t++ {
-						flow := d.RateMbps * d.Conc[t][k] * f.V
+					// The CSR row visits the dense loop's nonzeros in the same
+					// ascending-t order, so accumulation is bit-identical.
+					ts, fv := d.ConcNZ(k)
+					for ti, tt := range ts {
+						flow := d.RateMbps * fv[ti] * f.V
 						if flow == 0 {
 							continue
 						}
 						for _, l := range inst.G.Path(int(f.I), j) {
-							linkUse[t][l] += flow
+							linkUse[int(tt)][l] += flow
 						}
 					}
 				}
