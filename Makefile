@@ -1,14 +1,25 @@
 GO ?= go
 
-# Per-target budget for `make fuzz`; CI uses FUZZTIME=30s.
+# Per-target budget for `make fuzz`; CI uses FUZZTIME=30s. Targets are
+# pkg:Fuzzname pairs because go test takes one -fuzz pattern per package.
 FUZZTIME ?= 10s
-FUZZ_TARGETS := FuzzNewInstance FuzzInstanceBuilder FuzzEPFSolve FuzzFacloc
+FUZZ_TARGETS := \
+	./internal/verify:FuzzNewInstance \
+	./internal/verify:FuzzInstanceBuilder \
+	./internal/verify:FuzzEPFSolve \
+	./internal/verify:FuzzFacloc \
+	./internal/serve:FuzzRouteTable
 
 # Fixed-seed instance for the telemetry smoke test; small enough to solve in
 # seconds, large enough for a nontrivial convergence trajectory.
 TRACE_SMOKE_ARGS := -videos 60 -vhos 8 -passes 40 -seed 1
 
-.PHONY: build vet test race check bench bench-json fuzz cover fmt trace-smoke trace-golden
+# Fixed-seed daemon for the serve smoke: settings under which background
+# re-solves converge, so the demand bursts vodload posts produce an
+# audit-gated snapshot swap during the 2s run.
+SERVE_SMOKE_ARGS := -videos 60 -vhos 8 -passes 200 -eps 0.02 -seed 1
+
+.PHONY: build vet test race check bench bench-json fuzz cover fmt trace-smoke trace-golden serve-smoke
 
 build:
 	$(GO) build ./...
@@ -50,12 +61,15 @@ bench-json:
 	$(GO) test -run '^$$' -bench Scale -benchmem -count 1 -timeout 60m ./internal/experiments/ \
 		| $(GO) run ./tools/benchjson -baseline BENCH_scale.json > BENCH_scale.json.tmp
 	mv BENCH_scale.json.tmp BENCH_scale.json
+	$(GO) test -run '^$$' -bench Serve -benchmem -count 3 ./internal/serve/ \
+		| $(GO) run ./tools/benchjson -baseline BENCH_serve.json > BENCH_serve.json.tmp
+	mv BENCH_serve.json.tmp BENCH_serve.json
 
 # go test accepts a single -fuzz pattern per invocation, so budgeted runs
-# loop over the targets explicitly.
+# loop over the pkg:target pairs explicitly.
 fuzz:
 	for t in $(FUZZ_TARGETS); do \
-		$(GO) test ./internal/verify/ -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) || exit 1; \
+		$(GO) test $${t%%:*} -run '^$$' -fuzz $${t##*:} -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 cover:
@@ -76,6 +90,29 @@ trace-smoke:
 trace-golden:
 	$(GO) run ./cmd/vodplace $(TRACE_SMOKE_ARGS) -trace-out trace-smoke.jsonl > /dev/null
 	$(GO) run ./tools/tracesum -check trace-smoke.jsonl > testdata/trace_smoke.golden
+
+# End-to-end service gate: a seeded vodserved on an ephemeral port, 2s of
+# vodload with demand bursts, then SIGTERM. vodload's -golden-out is a
+# normalized boolean field subset (throughput nonzero, zero errors, rps
+# floor met, swap observed) diffed against the committed golden; the raw
+# JSON summary and daemon log are left behind as evidence. `wait` at the
+# end asserts the daemon's exit code — 0 means the drain was clean.
+serve-smoke:
+	$(GO) build -o vodserved.smoke ./cmd/vodserved
+	$(GO) build -o vodload.smoke ./cmd/vodload
+	rm -f serve-smoke.addr
+	./vodserved.smoke $(SERVE_SMOKE_ARGS) -addr 127.0.0.1:0 -addr-file serve-smoke.addr > serve-smoke.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 300); do [ -s serve-smoke.addr ] && break; sleep 0.1; done; \
+	[ -s serve-smoke.addr ] || { echo "vodserved never came up"; cat serve-smoke.log; exit 1; }; \
+	./vodload.smoke -addr $$(cat serve-smoke.addr) -duration 2s -concurrency 4 \
+		-updates 2 -update-size 6 -seed 1 -min-rps 1000 -wait 30s \
+		-json serve-smoke.json -golden-out serve-smoke.out \
+		|| { cat serve-smoke.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "vodserved exited nonzero"; cat serve-smoke.log; exit 1; }
+	diff -u testdata/serve_smoke.golden serve-smoke.out
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// usageRe strips the temp-dir binary path from the Usage line.
+var usageRe = regexp.MustCompile(`Usage of \S+:`)
+
+func normalizeHelp(b []byte) []byte {
+	return usageRe.ReplaceAll(b, []byte("Usage of vodload:"))
+}
+
+func buildLoadBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vodload")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGoldenHelp pins the harness's -h output. Regenerate with
+// `go test ./cmd/vodload -run Golden -update` after an intentional change.
+func TestGoldenHelp(t *testing.T) {
+	bin := buildLoadBinary(t)
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Fatalf("run -h: %v\n%s", err, out)
+		}
+	}
+	got := normalizeHelp(out)
+	golden := filepath.Join("testdata", "help.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-h output differs from %s (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestAddrRequired pins the usage-error contract.
+func TestAddrRequired(t *testing.T) {
+	bin := buildLoadBinary(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("no -addr: err %v (output %s), want exit 2", err, out)
+	}
+	if !bytes.Contains(out, []byte("-addr is required")) {
+		t.Errorf("missing usage hint in %q", out)
+	}
+}

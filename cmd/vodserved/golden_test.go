@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// Normalizers: wall time and ephemeral port numbers are the only
+// non-deterministic parts of the pinned output.
+var (
+	timingRe = regexp.MustCompile(`\d+\.\d+s`)
+	addrRe   = regexp.MustCompile(`(listening on )\S+`)
+	usageRe  = regexp.MustCompile(`Usage of \S+:`)
+)
+
+func normalize(b []byte) []byte {
+	b = timingRe.ReplaceAll(b, []byte("X.Xs"))
+	b = addrRe.ReplaceAll(b, []byte("${1}HOST:PORT"))
+	b = usageRe.ReplaceAll(b, []byte("Usage of vodserved:"))
+	return b
+}
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vodserved")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGoldenHelp pins the daemon's -h output so flag renames and help-text
+// drift show up in review. Regenerate with
+// `go test ./cmd/vodserved -run Golden -update` after an intentional change.
+func TestGoldenHelp(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	if err != nil {
+		// flag.PrintDefaults exits 0 via flag.ErrHelp handling in the stdlib
+		// FlagSet; the binary uses the default CommandLine which exits 2.
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Fatalf("run -h: %v\n%s", err, out)
+		}
+	}
+	got := normalize(out)
+	golden := filepath.Join("testdata", "help.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-h output differs from %s (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

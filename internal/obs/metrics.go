@@ -206,6 +206,66 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	return h.max
 }
 
+// Merge folds o's samples into h. Each histogram is locked on its own, so
+// concurrent observers of either side stay consistent; merging h into
+// itself is a no-op. The load harness uses this to combine per-sender
+// latency histograms into one report without sharing a hot mutex.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	count, sum, mn, mx := o.count, o.sum, o.min, o.max
+	buckets := o.buckets
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || mn < h.min {
+		h.min = mn
+	}
+	if h.count == 0 || mx > h.max {
+		h.max = mx
+	}
+	h.count += count
+	h.sum += sum
+	for b := range buckets {
+		h.buckets[b] += buckets[b]
+	}
+	h.mu.Unlock()
+}
+
+// Summary is a point-in-time digest of a histogram: counts, extremes, and
+// the bucket-upper-bound quantiles the harnesses report.
+type Summary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary returns a consistent snapshot of the histogram's digest (every
+// field computed under one lock acquisition).
+func (h *Histogram) Summary() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Summary{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+		s.P50 = h.quantileLocked(0.50)
+		s.P90 = h.quantileLocked(0.90)
+		s.P95 = h.quantileLocked(0.95)
+		s.P99 = h.quantileLocked(0.99)
+	}
+	return s
+}
+
 // String implements expvar.Var: a JSON summary with approximate quantiles.
 func (h *Histogram) String() string {
 	h.mu.Lock()

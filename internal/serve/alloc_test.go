@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRouteZeroAllocations pins the /route hot path — query parse, snapshot
+// lookup, and JSON encode into a reused buffer — at zero steady-state
+// allocations. If this test starts failing, something on the data plane
+// grew an allocation; fix it rather than relaxing the bound.
+func TestRouteZeroAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	s := testServer(t, 30, 6, 11)
+	snap := s.Snapshot()
+
+	// Pre-built raw queries cycling over real pairs plus the 404 shapes, so
+	// both the success and error encode paths are pinned.
+	var queries []string
+	for vi := range snap.Inst.Demands {
+		queries = append(queries, fmt.Sprintf("video=%d&vho=%d",
+			snap.Inst.Demands[vi].Video, vi%snap.NumVHOs()))
+	}
+	queries = append(queries, "video=999999&vho=0", "video=0&vho=999999")
+
+	buf := make([]byte, 0, 256)
+	// Warm-up: size the buffer to the longest response before measuring.
+	for _, q := range queries {
+		if v, j, ok := parseRouteQuery(q); ok {
+			buf, _ = snap.AppendRoute(buf[:0], v, j)
+		}
+	}
+
+	var idx int
+	avg := testing.AllocsPerRun(500, func() {
+		q := queries[idx%len(queries)]
+		idx++
+		v, j, ok := parseRouteQuery(q)
+		if !ok {
+			t.Fatalf("parseRouteQuery(%q) failed", q)
+		}
+		buf, _ = snap.AppendRoute(buf[:0], v, j)
+	})
+	if avg != 0 {
+		t.Errorf("route hot path allocates %.1f times per lookup, want 0", avg)
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// maxDemandBody bounds a POST /demand body (1 MiB is ~20k update entries).
+const maxDemandBody = 1 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	GET  /route?video=<id>&vho=<office> — cheapest serving copy (hot path)
+//	GET  /placement                     — the full served placement
+//	GET  /healthz                       — liveness
+//	GET  /status                        — version, counters, solve stats
+//	POST /demand                        — streamed demand updates
+//
+// Contracts: malformed /route parameters are 400; a numeric but unknown
+// video or vho, and (video, vho) pairs with no open copy, are 404 with an
+// "error" field; wrong methods are 405; a /demand batch is validated as a
+// whole and rejected atomically with 400.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/placement", s.handlePlacement)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/demand", s.handleDemand)
+	return mux
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.routeRequests.Add(1)
+	snap := s.store.Load()
+	video, vho, ok := parseRouteQuery(r.URL.RawQuery)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if !ok {
+		s.routeErrors.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad request: want /route?video=<id>&vho=<office>"}` + "\n")) //nolint:errcheck
+		return
+	}
+	bp := s.bufPool.Get().(*[]byte)
+	buf, status := snap.AppendRoute((*bp)[:0], video, vho)
+	if status != http.StatusOK {
+		s.routeErrors.Add(1)
+		w.WriteHeader(status)
+	}
+	w.Write(buf) //nolint:errcheck // nothing useful to do on a client hangup
+	*bp = buf
+	s.bufPool.Put(bp)
+}
+
+// placementJSON is the /placement response shape.
+type placementJSON struct {
+	Version   uint64         `json:"version"`
+	Certified bool           `json:"certified"`
+	Videos    []placementRow `json:"videos"`
+}
+
+type placementRow struct {
+	Video int   `json:"video"`
+	Open  []int `json:"open"`
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.store.Load()
+	out := placementJSON{
+		Version:   snap.Version,
+		Certified: snap.Certified,
+		Videos:    make([]placementRow, len(snap.Sol.Videos)),
+	}
+	for vi := range snap.Sol.Videos {
+		row := placementRow{Video: snap.Inst.Demands[vi].Video, Open: []int{}}
+		for _, f := range snap.Sol.Videos[vi].Open {
+			if f.V >= openY {
+				row.Open = append(row.Open, int(f.I))
+			}
+		}
+		out.Videos[vi] = row
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
+
+// statusJSON is the /status response shape.
+type statusJSON struct {
+	Version    uint64  `json:"version"`
+	Certified  bool    `json:"certified"`
+	Videos     int     `json:"videos"`
+	VHOs       int     `json:"vhos"`
+	Links      int     `json:"links"`
+	Slices     int     `json:"slices"`
+	LastPasses int     `json:"last_passes"`
+	LastGapPct float64 `json:"last_gap_pct"`
+
+	RouteRequests int64 `json:"route_requests"`
+	RouteErrors   int64 `json:"route_errors"`
+	DemandUpdates int64 `json:"demand_updates"`
+
+	Resolves struct {
+		Started       int64 `json:"started"`
+		Swapped       int64 `json:"swapped"`
+		AuditRejected int64 `json:"audit_rejected"`
+		Unconverged   int64 `json:"unconverged"`
+		Cancelled     int64 `json:"cancelled"`
+		Failed        int64 `json:"failed"`
+	} `json:"resolves"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.store.Load()
+	s.mu.Lock()
+	lastPasses, lastGap := s.lastPasses, s.lastGap
+	s.mu.Unlock()
+	out := statusJSON{
+		Version:       snap.Version,
+		Certified:     snap.Certified,
+		Videos:        snap.NumVideos(),
+		VHOs:          snap.NumVHOs(),
+		Links:         snap.Inst.G.NumLinks(),
+		Slices:        snap.Inst.Slices,
+		LastPasses:    lastPasses,
+		LastGapPct:    100 * lastGap,
+		RouteRequests: s.routeRequests.Value(),
+		RouteErrors:   s.routeErrors.Value(),
+		DemandUpdates: s.demandUpdates.Value(),
+	}
+	out.Resolves.Started = s.resolvesStarted.Value()
+	out.Resolves.Swapped = s.resolvesSwapped.Value()
+	out.Resolves.AuditRejected = s.auditRejected.Value()
+	out.Resolves.Unconverged = s.unconverged.Value()
+	out.Resolves.Cancelled = s.resolvesCancel.Value()
+	out.Resolves.Failed = s.resolvesFailed.Value()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// demandAck is the POST /demand success response.
+type demandAck struct {
+	Accepted int    `json:"accepted"`
+	Version  uint64 `json:"version"`
+}
+
+func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var updates []DemandUpdate
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDemandBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&updates); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed demand body: " + err.Error()})
+		return
+	}
+	if len(updates) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty demand batch"})
+		return
+	}
+	s.mu.Lock()
+	if err := s.state.validate(updates); err != nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s.state.apply(updates)
+	s.dirty = true
+	s.mu.Unlock()
+	s.demandUpdates.Add(int64(len(updates)))
+	s.kickResolve()
+	writeJSON(w, http.StatusAccepted, demandAck{Accepted: len(updates), Version: s.store.Load().Version})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // nothing useful to do on a client hangup
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in (allocation
+// counts are unreliable under -race, so the zero-alloc test skips itself).
+const raceEnabled = true

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"vodplace/internal/epf"
+	"vodplace/internal/mip"
+	"vodplace/internal/verify"
+)
+
+// resolveLoop is the control plane: it waits for demand to change and runs
+// one audited re-solve per wakeup. The channel has capacity 1, so bursts of
+// updates arriving during a solve coalesce into a single follow-up solve
+// over the then-current state.
+func (s *Server) resolveLoop(ctx context.Context) {
+	defer close(s.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.resolveCh:
+		}
+		if _, err := s.resolveOnce(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			s.logf("serve: resolve failed: %v", err)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// kickResolve schedules a background re-solve (coalescing with any already
+// pending).
+func (s *Server) kickResolve() {
+	select {
+	case s.resolveCh <- struct{}{}:
+	default:
+	}
+}
+
+// resolveOnce rebuilds the instance from the live demand state, solves it
+// (warm-started from the last swapped-in solve unless disabled), audits the
+// result, and — only if the audit passes and the solve converged — swaps a
+// new snapshot in. On any rejection the old snapshot keeps serving and the
+// matching counter is incremented; a cancellation (shutdown) discards the
+// partial solve. Returns the swapped-in snapshot, or nil when nothing was
+// swapped.
+func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
+	s.mu.Lock()
+	if !s.dirty {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.dirty = false
+	inst, err := s.state.instance(s.base)
+	warm := s.warm
+	s.mu.Unlock()
+	s.resolvesStarted.Add(1)
+	if err != nil {
+		s.resolvesFailed.Add(1)
+		return nil, fmt.Errorf("serve: rebuilding instance: %w", err)
+	}
+
+	cur := s.store.Load()
+	if s.cfg.UpdateWeight > 0 {
+		inst.UpdateWeight = s.cfg.UpdateWeight
+		inst.Origin = originsFromSnapshot(inst, cur)
+	}
+
+	opts := s.cfg.Solver
+	opts.Recorder = s.cfg.Recorder
+	opts.TraceStream = fmt.Sprintf("serve.v%d", cur.Version+1)
+	if !s.cfg.WarmOff {
+		opts.Warm = warm
+	}
+	res, err := epf.SolveIntegerContext(ctx, inst, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.resolvesCancel.Add(1)
+			s.logf("serve: resolve discarded (shutdown) after %d passes", res.Passes)
+			return nil, err
+		}
+		s.resolvesFailed.Add(1)
+		return nil, fmt.Errorf("serve: re-solve: %w", err)
+	}
+
+	// The swap gate: the data plane only ever serves certified placements.
+	// An audit failure means the solver's claims were wrong — keep the old
+	// snapshot and record the rejection.
+	if rep := verify.Audit(inst, res); !rep.Ok() {
+		s.auditRejected.Add(1)
+		s.logf("serve: resolve rejected by audit, keeping v%d: %v", cur.Version, rep.Err())
+		return nil, nil
+	}
+	if !res.Converged {
+		s.unconverged.Add(1)
+		s.logf("serve: resolve did not converge (%d passes), keeping v%d", res.Passes, cur.Version)
+		return nil, nil
+	}
+
+	snap, err := buildSnapshot(inst, res.Sol, cur.Version+1, true)
+	if err != nil {
+		s.resolvesFailed.Add(1)
+		return nil, fmt.Errorf("serve: building snapshot: %w", err)
+	}
+	s.store.Store(snap)
+	s.mu.Lock()
+	s.warm = res.Warm
+	s.lastPasses = res.Passes
+	s.lastGap = res.Gap
+	s.mu.Unlock()
+	s.resolvesSwapped.Add(1)
+	s.logf("serve: placement v%d swapped in (%d passes, gap %.2f%%, objective %.1f GB)",
+		snap.Version, res.Passes, 100*res.Gap, res.Objective)
+	return snap, nil
+}
+
+// originsFromSnapshot maps each video of the new instance to an office
+// currently serving it (the migration-cost origin of objective (11)).
+// Videos the served placement does not hold get the −1 "no prior copy"
+// sentinel.
+func originsFromSnapshot(inst *mip.Instance, snap *Snapshot) []int32 {
+	out := make([]int32, len(inst.Demands))
+	for vi := range inst.Demands {
+		out[vi] = -1
+		id := inst.Demands[vi].Video
+		if id < 0 || id >= len(snap.vidIdx) {
+			continue
+		}
+		pv := snap.vidIdx[id]
+		if pv < 0 {
+			continue
+		}
+		for _, f := range snap.Sol.Videos[pv].Open {
+			if f.V >= openY {
+				out[vi] = f.I
+				break
+			}
+		}
+	}
+	return out
+}

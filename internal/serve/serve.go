@@ -1,0 +1,209 @@
+// Package serve turns the batch placement solver into a control plane
+// behind a long-running data plane. The data plane answers routing lookups
+// ("which office serves video m for office j?") from an immutable,
+// atomically-swapped Snapshot whose route tables are fully precomputed, so
+// the hot path is array reads plus a JSON encode into a reused buffer —
+// zero steady-state allocations. The control plane accepts streamed demand
+// updates, re-solves the placement LP in the background with cross-period
+// warm starts (epf.WarmState), and swaps a new snapshot in only after the
+// independent certificate auditor (verify.Audit) passes; a rejected solve
+// keeps the old snapshot serving and increments a counter. The data plane
+// never blocks on the control plane: lookups hit whatever snapshot is
+// current, re-solves happen entirely off the request path.
+//
+// See DESIGN.md §12 for the service architecture.
+package serve
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vodplace/internal/epf"
+	"vodplace/internal/mip"
+	"vodplace/internal/obs"
+	"vodplace/internal/verify"
+)
+
+// Config configures the placement server.
+type Config struct {
+	// Solver configures every solve (the initial one and background
+	// re-solves). MaxPasses, Shards etc. apply to both.
+	Solver epf.Options
+	// Warm threads each swapped-in solve's final state (epf.WarmState) into
+	// the next background re-solve. Default true — the whole point of the
+	// control plane is cheap incremental re-solves; set WarmOff to disable.
+	WarmOff bool
+	// UpdateWeight, when positive, charges re-solves for migrating copies
+	// away from the currently-served placement (objective (11) with origins
+	// taken from the live snapshot), damping churn between snapshots.
+	UpdateWeight float64
+	// Metrics receives the server's counters; a fresh private registry is
+	// created when nil. The same instruments back the /status endpoint.
+	Metrics *obs.Metrics
+	// Recorder, when non-nil, receives solver telemetry for the initial
+	// solve and every re-solve (streams "serve.vNN").
+	Recorder *obs.Recorder
+	// Logf, when non-nil, receives one-line lifecycle messages (swap,
+	// rejection, shutdown discard). The daemon points it at stdout; tests
+	// capture it. May be called from the resolver goroutine.
+	Logf func(format string, args ...any)
+}
+
+// Server is the placement service: an atomically-swapped snapshot store,
+// the HTTP handlers over it, and the background resolver that folds demand
+// updates into audited re-placements.
+type Server struct {
+	cfg  Config
+	base *mip.Instance // capacities/topology template for rebuilds
+
+	store atomic.Pointer[Snapshot]
+
+	mu    sync.Mutex
+	state *demandState
+	warm  *epf.WarmState
+	dirty bool
+	// lastPasses/lastGap describe the most recent swapped-in solve.
+	lastPasses int
+	lastGap    float64
+
+	resolveCh chan struct{}
+	cancel    context.CancelFunc
+	done      chan struct{}
+	closeOnce sync.Once
+
+	bufPool sync.Pool
+
+	metrics *obs.Metrics
+	// Counters, prefetched so the hot path is one atomic add.
+	routeRequests   *expvar.Int
+	routeErrors     *expvar.Int
+	demandUpdates   *expvar.Int
+	resolvesStarted *expvar.Int
+	resolvesSwapped *expvar.Int
+	auditRejected   *expvar.Int
+	unconverged     *expvar.Int
+	resolvesCancel  *expvar.Int
+	resolvesFailed  *expvar.Int
+}
+
+// New solves the initial placement on inst, audits it, and starts the
+// background resolver. The returned server is serving (via Handler) as soon
+// as New returns; Close stops the resolver and discards any in-flight
+// re-solve.
+func New(inst *mip.Instance, cfg Config) (*Server, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("serve: nil instance")
+	}
+	opts := cfg.Solver
+	opts.Recorder = cfg.Recorder
+	opts.TraceStream = "serve.v1"
+	res, err := epf.SolveIntegerContext(context.Background(), inst, opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial solve: %w", err)
+	}
+	if rep := verify.Audit(inst, res); !rep.Ok() {
+		return nil, fmt.Errorf("serve: initial placement failed audit: %w", rep.Err())
+	}
+	return NewWithResult(inst, res, cfg)
+}
+
+// NewWithResult starts the server from an already-solved (and
+// audit-checked) initial placement. Callers that did not run verify.Audit
+// themselves should use New.
+func NewWithResult(inst *mip.Instance, res *epf.Result, cfg Config) (*Server, error) {
+	snap, err := buildSnapshot(inst, res.Sol, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		base:       inst,
+		state:      stateFromInstance(inst),
+		warm:       res.Warm,
+		lastPasses: res.Passes,
+		lastGap:    res.Gap,
+		resolveCh:  make(chan struct{}, 1),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		metrics:    m,
+
+		routeRequests:   m.Counter("serve.route_requests"),
+		routeErrors:     m.Counter("serve.route_errors"),
+		demandUpdates:   m.Counter("serve.demand_updates"),
+		resolvesStarted: m.Counter("serve.resolves_started"),
+		resolvesSwapped: m.Counter("serve.resolves_swapped"),
+		auditRejected:   m.Counter("serve.audit_rejected"),
+		unconverged:     m.Counter("serve.unconverged_rejected"),
+		resolvesCancel:  m.Counter("serve.resolves_cancelled"),
+		resolvesFailed:  m.Counter("serve.resolves_failed"),
+	}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	}
+	s.store.Store(snap)
+	go s.resolveLoop(ctx)
+	return s, nil
+}
+
+// Snapshot returns the currently-served snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.store.Load() }
+
+// Metrics returns the server's counter registry.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Close stops the background resolver, cancelling (and discarding) any
+// in-flight re-solve, and waits for it to exit. The handlers keep answering
+// from the last snapshot — shutting the listener down is the caller's job.
+// Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		<-s.done
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Stats is a point-in-time copy of the server counters (the same numbers
+// /status serves).
+type Stats struct {
+	Version         uint64
+	RouteRequests   int64
+	RouteErrors     int64
+	DemandUpdates   int64
+	ResolvesStarted int64
+	ResolvesSwapped int64
+	AuditRejected   int64
+	Unconverged     int64
+	Cancelled       int64
+	Failed          int64
+}
+
+// Stats returns the current counter values.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Version:         s.store.Load().Version,
+		RouteRequests:   s.routeRequests.Value(),
+		RouteErrors:     s.routeErrors.Value(),
+		DemandUpdates:   s.demandUpdates.Value(),
+		ResolvesStarted: s.resolvesStarted.Value(),
+		ResolvesSwapped: s.resolvesSwapped.Value(),
+		AuditRejected:   s.auditRejected.Value(),
+		Unconverged:     s.unconverged.Value(),
+		Cancelled:       s.resolvesCancel.Value(),
+		Failed:          s.resolvesFailed.Value(),
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"vodplace/internal/mip"
+)
+
+// DemandUpdate is one streamed demand delta (POST /demand): Add requests
+// for Video at office VHO over the placement horizon. Negative adds decay
+// demand; the state clamps at zero. Concurrency rows scale with the
+// aggregate through the state's per-slice peak fractions, so an update
+// shifts both the storage objective and the link constraints.
+type DemandUpdate struct {
+	Video int     `json:"video"`
+	VHO   int     `json:"vho"`
+	Add   float64 `json:"add"`
+}
+
+// demandRow is the canonical mutable demand for one video: dense per-office
+// aggregates and per-(slice, office) peak concurrency. The server mutates
+// rows under its lock and streams them through a fresh InstanceBuilder
+// (which copies) on every re-solve, so built instances never alias state.
+type demandRow struct {
+	video    int
+	sizeGB   float64
+	rateMbps float64
+	agg      []float64   // [office]
+	conc     [][]float64 // [slice][office]
+}
+
+// demandState is the control plane's demand model: the videos of the
+// initial instance with their live aggregate/concurrency numbers.
+type demandState struct {
+	rows   []demandRow
+	byID   map[int]int // library video id -> rows index
+	n      int         // offices
+	slices int
+	// concFrac[t] is the peak-concurrency mass added per unit of aggregate
+	// demand by an update, derived from the seed instance's global
+	// conc/agg ratio so streamed updates look like the existing mix.
+	concFrac []float64
+}
+
+// defaultConcFrac is the per-slice concurrency/aggregate ratio used when
+// the seed instance carries no demand mass to derive one from.
+const defaultConcFrac = 0.05
+
+// stateFromInstance copies a built instance's demands into mutable dense
+// state. The instance keeps only the CSR concurrency view, so the dense
+// rows are reconstructed from it.
+func stateFromInstance(inst *mip.Instance) *demandState {
+	n := inst.NumVHOs()
+	st := &demandState{
+		rows:     make([]demandRow, len(inst.Demands)),
+		byID:     make(map[int]int, len(inst.Demands)),
+		n:        n,
+		slices:   inst.Slices,
+		concFrac: make([]float64, inst.Slices),
+	}
+	var totalAgg float64
+	totalConc := make([]float64, inst.Slices)
+	for vi := range inst.Demands {
+		d := &inst.Demands[vi]
+		row := demandRow{
+			video:    d.Video,
+			sizeGB:   d.SizeGB,
+			rateMbps: d.RateMbps,
+			agg:      make([]float64, n),
+			conc:     make([][]float64, inst.Slices),
+		}
+		for t := range row.conc {
+			row.conc[t] = make([]float64, n)
+		}
+		for k, j := range d.Js {
+			row.agg[j] = d.Agg[k]
+			totalAgg += d.Agg[k]
+			ts, vs := d.ConcNZ(k)
+			for x, t := range ts {
+				row.conc[t][j] = vs[x]
+				totalConc[t] += vs[x]
+			}
+		}
+		st.rows[vi] = row
+		st.byID[d.Video] = vi
+	}
+	for t := range st.concFrac {
+		if totalAgg > 0 {
+			st.concFrac[t] = totalConc[t] / totalAgg
+		} else {
+			st.concFrac[t] = defaultConcFrac
+		}
+	}
+	return st
+}
+
+// validate checks a batch of updates against the state without applying
+// anything, so a bad entry rejects the whole batch atomically.
+func (st *demandState) validate(us []DemandUpdate) error {
+	for i, u := range us {
+		if _, ok := st.byID[u.Video]; !ok {
+			return fmt.Errorf("entry %d: unknown video %d", i, u.Video)
+		}
+		if u.VHO < 0 || u.VHO >= st.n {
+			return fmt.Errorf("entry %d: vho %d out of range [0,%d)", i, u.VHO, st.n)
+		}
+		if math.IsNaN(u.Add) || math.IsInf(u.Add, 0) {
+			return fmt.Errorf("entry %d: non-finite add", i)
+		}
+	}
+	return nil
+}
+
+// apply folds a validated batch into the state.
+func (st *demandState) apply(us []DemandUpdate) {
+	for _, u := range us {
+		row := &st.rows[st.byID[u.Video]]
+		row.agg[u.VHO] += u.Add
+		if row.agg[u.VHO] < 0 {
+			row.agg[u.VHO] = 0
+		}
+		for t := range row.conc {
+			row.conc[t][u.VHO] += u.Add * st.concFrac[t]
+			if row.conc[t][u.VHO] < 0 {
+				row.conc[t][u.VHO] = 0
+			}
+		}
+	}
+}
+
+// instance builds a fresh placement instance from the current state by
+// streaming every row through an InstanceBuilder with one reused staging
+// demand (the builder copies what it keeps).
+func (st *demandState) instance(base *mip.Instance) (*mip.Instance, error) {
+	b, err := mip.NewInstanceBuilder(base.G, base.DiskGB, base.LinkCapMbps, st.slices, 0)
+	if err != nil {
+		return nil, err
+	}
+	staging := mip.VideoDemand{
+		Js:   make([]int32, 0, st.n),
+		Agg:  make([]float64, 0, st.n),
+		Conc: make([][]float64, st.slices),
+	}
+	for t := range staging.Conc {
+		staging.Conc[t] = make([]float64, 0, st.n)
+	}
+	for vi := range st.rows {
+		row := &st.rows[vi]
+		staging.Video = row.video
+		staging.SizeGB = row.sizeGB
+		staging.RateMbps = row.rateMbps
+		staging.Js = staging.Js[:0]
+		staging.Agg = staging.Agg[:0]
+		for t := range staging.Conc {
+			staging.Conc[t] = staging.Conc[t][:0]
+		}
+		for j := 0; j < st.n; j++ {
+			keep := row.agg[j] > 0
+			for t := 0; !keep && t < st.slices; t++ {
+				keep = row.conc[t][j] > 0
+			}
+			if !keep {
+				continue
+			}
+			staging.Js = append(staging.Js, int32(j))
+			staging.Agg = append(staging.Agg, row.agg[j])
+			for t := range staging.Conc {
+				staging.Conc[t] = append(staging.Conc[t], row.conc[t][j])
+			}
+		}
+		if err := b.Add(&staging); err != nil {
+			return nil, fmt.Errorf("video %d: %w", row.video, err)
+		}
+	}
+	inst, err := b.Seal()
+	if err != nil {
+		return nil, err
+	}
+	inst.Alpha, inst.Beta = base.Alpha, base.Beta
+	return inst, nil
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ZipfWeights returns normalized Zipf(s) weights over n ranks: weight of
+// rank r (0-based) proportional to 1/(r+1)^s. s = 0 is uniform. The load
+// harness uses this to synthesize request mixes over whatever video set a
+// placement server reports, without regenerating a full trace.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		w[r] = 1 / math.Pow(float64(r+1), s)
+		total += w[r]
+	}
+	for r := range w {
+		w[r] /= total
+	}
+	return w
+}
+
+// Sampler draws indices from a fixed discrete distribution by inverse-CDF
+// binary search. Deterministic for a given (weights, seed); not safe for
+// concurrent use — give each goroutine its own Sampler.
+type Sampler struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewSampler builds a sampler over weights (need not be normalized;
+// non-positive entries get zero mass). Returns nil when no entry has
+// positive mass.
+func NewSampler(weights []float64, seed int64) *Sampler {
+	cdf := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cdf[i] = total
+	}
+	if total <= 0 {
+		return nil
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Sampler{cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next sampled index.
+func (s *Sampler) Next() int {
+	u := s.rng.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Intn returns a uniform int in [0, n), from the sampler's stream.
+func (s *Sampler) Intn(n int) int { return s.rng.Intn(n) }

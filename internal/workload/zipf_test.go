@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfWeights(t *testing.T) {
+	if got := ZipfWeights(0, 1); got != nil {
+		t.Fatalf("ZipfWeights(0) = %v, want nil", got)
+	}
+	w := ZipfWeights(100, 0.8)
+	sum := 0.0
+	for r, v := range w {
+		sum += v
+		if r > 0 && v >= w[r-1] {
+			t.Fatalf("weights not strictly decreasing at rank %d", r)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %g, want 1", sum)
+	}
+	// Exact ratio check: w[0]/w[9] = 10^0.8.
+	if got, want := w[0]/w[9], math.Pow(10, 0.8); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("w[0]/w[9] = %g, want %g", got, want)
+	}
+	// s=0 is uniform.
+	u := ZipfWeights(5, 0)
+	for _, v := range u {
+		if math.Abs(v-0.2) > 1e-12 {
+			t.Fatalf("uniform weights %v", u)
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if s := NewSampler(nil, 1); s != nil {
+		t.Fatal("sampler over no mass should be nil")
+	}
+	if s := NewSampler([]float64{0, -1, 0}, 1); s != nil {
+		t.Fatal("sampler over non-positive mass should be nil")
+	}
+
+	// Zero-mass entries are never drawn; frequencies track weights.
+	w := []float64{0, 3, 0, 1, 0}
+	s := NewSampler(w, 7)
+	counts := make([]int, len(w))
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[s.Next()]++
+	}
+	for i, c := range counts {
+		if w[i] == 0 && c != 0 {
+			t.Fatalf("zero-weight index %d drawn %d times", i, c)
+		}
+	}
+	ratio := float64(counts[1]) / float64(counts[3])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("draw ratio %g, want ~3", ratio)
+	}
+
+	// Deterministic per (weights, seed).
+	a, b := NewSampler(w, 42), NewSampler(w, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
