@@ -39,7 +39,9 @@ func main() {
 		shards = flag.Int("shards", 0, "catalog shards for block scheduling (0/1 = unsharded; any value yields bit-identical results)")
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		doAud  = flag.Bool("verify", false, "re-check every solver result with the independent certificate auditor")
-		warm   = flag.Bool("warm", false, "seed each placement period's solve from the previous period's final state (cross-period warm starts)")
+		warm   = flag.Bool("warm", true, "seed each placement period's solve from the previous period's final state (cross-period warm starts)")
+		cold   = flag.Bool("cold", false, "force cold per-period solves (overrides -warm)")
+		noIncr = flag.Bool("no-incremental", false, "run the legacy sequential solver mode (no incremental pricing, sequential rounding)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	obsFlags := obs.Register(flag.CommandLine)
@@ -96,7 +98,8 @@ func main() {
 		Shards:                 *shards,
 		Quick:                  *quick,
 		Verify:                 *doAud,
-		Warm:                   *warm,
+		Warm:                   *warm && !*cold,
+		NoIncremental:          *noIncr,
 		Recorder:               rec,
 	}
 	// Ctrl-C / SIGTERM cancels the running experiment cooperatively.

@@ -62,7 +62,10 @@ type Options struct {
 	ChunkSize int
 	// MaxPasses bounds the number of full passes. Default 300.
 	MaxPasses int
-	// Workers is the parallelism for block optimization. Default NumCPU.
+	// Workers is the parallelism for block optimization. Default
+	// GOMAXPROCS(0), so `go test -cpu` sweeps and GOMAXPROCS-capped
+	// deployments scale the pool with the runtime instead of the raw core
+	// count. Results are bit-identical at any worker count either way.
 	Workers int
 	// Shards is the number of contiguous catalog shards the block schedule
 	// is grouped by. 0 (the default) adopts the instance's own shard layout
@@ -94,6 +97,17 @@ type Options struct {
 	// deterministic at any worker count either way; only the default mode's
 	// exact output bytes are pinned.
 	IncrementalPricing bool
+	// ParallelRound dispatches the §V-D rounding and polish block solves
+	// through the worker pool: each rounding chunk freezes the full dual
+	// vector (disk rows included, where the sequential mode re-prices disk
+	// per video), fans the chunk's facility-location solves out to the
+	// workers, and commits the results sequentially in chunk order. Chunk
+	// boundaries are fixed, so the output is deterministic and bit-identical
+	// at any worker or shard count — but the chunk-frozen disk duals change
+	// the rounding trajectory relative to the sequential mode, so like
+	// IncrementalPricing this is a mode bit rather than a transparent
+	// optimization, and the pinned legacy goldens keep it off.
+	ParallelRound bool
 	// Warm, when non-nil, seeds the solve from a previous period's final
 	// state (see WarmState): initial placement from the per-video open sets
 	// (unknown video IDs fall back to the cold init), initial lower bound
@@ -148,7 +162,7 @@ func (o *Options) withDefaults() Options {
 		out.MaxPasses = 300
 	}
 	if out.Workers <= 0 {
-		out.Workers = runtime.NumCPU()
+		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
@@ -352,9 +366,38 @@ type solver struct {
 	lbQ         []float64 // frozen duals for the current bound fan-out
 	lbWantGrad  bool
 
+	// Deterministic parallel-reduction state (reduce.go). Leaves are fixed
+	// spans of video-index space whose boundaries depend only on the catalog
+	// size, so the reduction tree is identical at any worker or shard count;
+	// a single-leaf catalog degenerates to the historical flat sequential
+	// sum. All buffers nil on single-leaf solves.
+	leaves      []shardSpan
+	leafTasks   []par.Task
+	leafAct     []float64 // per-leaf partial activities, numLeaves×rows flat
+	leafObj     []float64 // per-leaf partial objective sums
+	leafSum     []float64 // per-leaf partial Lagrangian-term sums
+	leafGrad    []float64 // per-leaf partial subgradients (lazy, polish only)
+	stateLeafFn func(w, tag, lo, hi int)
+	lbSumLeafFn func(w, tag, lo, hi int)
+	gradLeafFn  func(w, tag, lo, hi int)
+
+	// Parallel path-dual rebuild state: the frozen duals staged for the row
+	// fan-out and the once-built row body. Every pathDualT entry is an
+	// independent sum over its own CSR path, so any row partition is
+	// bitwise-identical to the sequential rebuild.
+	pdRebuildQ []float64
+	pdRowFn    func(w, lo, hi int)
+	pdParallel bool // resolved once: pool > 1 worker and table big enough
+
+	// Parallel rounding state (round.go, Options.ParallelRound): the current
+	// chunk's per-video integer solutions, index-addressed by chunk position
+	// and committed sequentially in chunk order.
+	roundSols   []intSol
+	roundQ0     []float64 // chunk-frozen disk duals, drift baseline
+	roundTaskFn func(w, tag, lo, hi int)
+
 	// Cross-period warm-start state (Options.Warm / Result.Warm).
 	warmRound bool    // rounding-phase facloc solves seed from warmOpen
-	tau0      float64 // Newton line-search starting step
 	tauSum    float64 // accepted line-search steps, for the TauHint export
 	tauN      int64
 	lpDelta   float64 // δ at the end of the LP descent (exported hint)
@@ -478,7 +521,10 @@ func newSolver(inst *mip.Instance, opts Options) (*solver, error) {
 	s.scratch = par.NewSlots[workerScratch](s.pool)
 	s.lbBuf = make([]float64, len(inst.Demands))
 	s.initShards()
-	s.tau0 = 0.5
+	s.initReduce()
+	if s.opts.ParallelRound {
+		s.initRound()
+	}
 	s.warmRound = s.opts.Warm != nil
 	s.initSolution()
 	s.stats.InitTime = time.Since(initStart)
@@ -644,26 +690,40 @@ func (s *solver) initSolution() {
 	s.recomputeState()
 }
 
-// recomputeState rebuilds act and obj from the current solution.
+// recomputeState rebuilds act and obj from the current solution. Multi-leaf
+// catalogs reduce in parallel through the fixed-leaf tree (reduce.go);
+// single-leaf catalogs run the historical flat sequential sum.
 func (s *solver) recomputeState() {
-	for r := range s.act {
-		s.act[r] = 0
+	start := time.Now()
+	if !s.parRecomputeState() {
+		for r := range s.act {
+			s.act[r] = 0
+		}
+		s.obj = 0
+		for vi := range s.sol {
+			s.addBlockRows(vi, &s.sol[vi], +1)
+			s.obj += s.blockCost(vi, &s.sol[vi])
+		}
 	}
-	s.obj = 0
-	for vi := range s.sol {
-		s.addBlockRows(vi, &s.sol[vi], +1)
-		s.obj += s.blockCost(vi, &s.sol[vi])
-	}
+	s.stats.ReduceTime += time.Since(start)
 }
 
 // addBlockRows adds (sign=+1) or removes (sign=-1) block vi's contribution
-// to the coupling-row activities. Only the nonzero time slices of each
-// demand (the instance's sparse concurrency lists) are visited, and link
-// rows are addressed through the CSR path table.
+// to the coupling-row activities.
 func (s *solver) addBlockRows(vi int, bs *blockSol, sign float64) {
+	s.addBlockRowsTo(s.act, vi, bs, sign)
+}
+
+// addBlockRowsTo adds (sign=+1) or removes (sign=-1) block vi's contribution
+// to the coupling-row activities in act. Only the nonzero time slices of each
+// demand (the instance's sparse concurrency lists) are visited, and link
+// rows are addressed through the CSR path table. act is either the live
+// activity vector or one leaf's partial (parallel reductions): the per-entry
+// accumulation order is identical either way.
+func (s *solver) addBlockRowsTo(act []float64, vi int, bs *blockSol, sign float64) {
 	d := &s.inst.Demands[vi]
 	for _, f := range bs.open {
-		s.act[int(f.I)] += sign * d.SizeGB * f.V
+		act[int(f.I)] += sign * d.SizeGB * f.V
 	}
 	if s.T == 0 {
 		return
@@ -683,7 +743,7 @@ func (s *solver) addBlockRows(vi int, bs *blockSol, sign float64) {
 				flow := sign * d.RateMbps * fv[x] * f.V
 				base := s.n + int(t)*s.L
 				for _, l := range path {
-					s.act[base+int(l)] += flow
+					act[base+int(l)] += flow
 				}
 			}
 		}
@@ -861,25 +921,48 @@ func (s *solver) syncPathDuals(q []float64) {
 
 // rebuildPathDuals recomputes every pathDualT entry from scratch, summing
 // q along each CSR path in link order.
+//
+// Every entry is an independent sum over its own path's links, so the table
+// partitions freely: the rebuild fans (t,i) rows out to the pool when the
+// table is large enough to amortize the dispatch, and the result is
+// bitwise-identical to the sequential sweep at any worker count. This was
+// the top sequential-residue item of the multi-core audit — it runs inside
+// every chunk's dual freeze in default mode.
 func (s *solver) rebuildPathDuals(q []float64) {
+	if s.pdParallel {
+		s.pdRebuildQ = q
+		if err := s.pool.Run(s.ctx, s.T*s.n, s.pdRowFn); err == nil {
+			s.pdRebuildQ = nil
+			return
+		}
+		// Pre-cancelled dispatch: fall through to the sequential rebuild so
+		// the table is never left stale for the caller's final report.
+		s.pdRebuildQ = nil
+	}
+	s.rebuildPathDualRows(q, 0, s.T*s.n)
+}
+
+// rebuildPathDualRows rebuilds the (t,i) rows in [lo, hi) of the flattened
+// t·n row space. Both the sequential rebuild and each parallel range call
+// this body, so the per-entry arithmetic is shared by construction.
+func (s *solver) rebuildPathDualRows(q []float64, lo, hi int) {
 	n := s.n
 	links, off := s.inst.G.PathCSR()
-	for t := 0; t < s.T; t++ {
+	for row := lo; row < hi; row++ {
+		t, i := row/n, row%n
 		base := s.n + t*s.L
 		tn := t * n
-		for i := 0; i < n; i++ {
-			in := i * n
-			for j := 0; j < n; j++ {
-				if i == j {
-					s.pathDualT[(tn+j)*n+i] = 0
-					continue
-				}
-				var sum float64
-				for _, l := range links[off[in+j]:off[in+j+1]] {
-					sum += q[base+int(l)]
-				}
-				s.pathDualT[(tn+j)*n+i] = sum
+		in := i * n
+		for j := 0; j < n; j++ {
+			if i == j {
+				s.pathDualT[(tn+j)*n+i] = 0
+				continue
 			}
+			var sum float64
+			for _, l := range links[off[in+j]:off[in+j+1]] {
+				sum += q[base+int(l)]
+			}
+			s.pathDualT[(tn+j)*n+i] = sum
 		}
 	}
 }
@@ -1347,6 +1430,7 @@ func (s *solver) finishTrace(res *Result) {
 			})
 		}
 	}
+	rec.RecordSpan(s.opts.TraceStream, "reduce", res.Stats.ReduceTime)
 	rec.PublishKV("epf_stats."+s.opts.TraceStream, res.Stats)
 	rec.Flush() //nolint:errcheck // sink errors surface from the caller's Close
 }
@@ -1576,10 +1660,20 @@ func (s *solver) applyBlock(vi int, ns *intSol) {
 //
 // The touched rows are first gathered into contiguous scratch arrays with
 // the per-row delta/b coefficient divided out once, so each derivative
-// evaluation is a single fused multiply-exp sweep. The default mode then
-// bisects (bit-identical to the historical trajectory); IncrementalPricing
-// mode runs a safeguarded Newton iteration on Φ' that typically converges
-// in ~5 evaluations instead of 30.
+// evaluation is a single fused multiply-exp sweep. All modes then run the
+// same fixed 30-step bisection, bit-identical to the historical trajectory.
+//
+// Every mode bisects on purpose. A safeguarded Newton iteration on Φ' was
+// trialled for the fast modes (~5 sweeps instead of 30) and rejected by the
+// differential sweep: Φ' routinely has wide numerically-flat plateaus — the
+// clamped exponentials underflow when every touched row is far from its
+// smoothed capacity — and inside a plateau any τ is a "root" to float
+// precision. Newton parks at whatever plateau point its last step reached,
+// while bisection's sign test walks to the plateau's left edge and takes
+// the conservative step; the difference compounds over thousands of steps
+// into a 5–18% objective regression on hard corpus seeds. The line search
+// is driver-side serial residue either way; the fused gather above, not the
+// probe count, is what keeps it cheap.
 func (s *solver) lineSearch(dObj float64) float64 {
 	s.stats.LineSearches++
 	m := 0
@@ -1612,9 +1706,6 @@ func (s *solver) lineSearch(dObj float64) float64 {
 	if deriv(1) <= 0 {
 		return 1
 	}
-	if s.opts.IncrementalPricing || s.opts.Warm != nil {
-		return s.newtonRoot(dObj, m)
-	}
 	lo, hi := 0.0, 1.0
 	for iter := 0; iter < 30; iter++ {
 		mid := (lo + hi) / 2
@@ -1625,66 +1716,6 @@ func (s *solver) lineSearch(dObj float64) float64 {
 		}
 	}
 	return (lo + hi) / 2
-}
-
-// newtonRoot finds the zero of Φ' in (0, 1) by Newton's method on the
-// gathered rows, safeguarded by the [lo, hi] sign bracket: steps that leave
-// the bracket (routine while the exponentials are saturated far from the
-// root) fall back to its midpoint, so each iteration at least halves the
-// bracket and convergence is never worse than the 30-step bisection it
-// replaces. Near the root Newton is quadratic and the |next − tau| break
-// fires after a handful of sweeps — that early exit is the speedup, not a
-// lower iteration cap: optimal steps are often tiny (τ ~ 1e-6), and a
-// coarser tau would overshoot them and climb the potential instead of
-// descending it. Φ” = Σ α·(Δ_r/b_r)²·exp(·) ≥ 0 comes from the same sweep
-// as Φ', so an iteration costs the same as one bisection probe.
-func (s *solver) newtonRoot(dObj float64, m int) float64 {
-	lo, hi := 0.0, 1.0
-	// The start is 0.5 (plain bisection's first probe) unless a warm state
-	// supplied the previous descent's mean accepted step — steps cluster
-	// around the same magnitude within a regime, so starting there saves the
-	// early bracket-halving iterations.
-	tau := s.tau0
-	for iter := 0; iter < 30; iter++ {
-		var d1, d2 float64
-		for x := 0; x < m; x++ {
-			rr := (s.lsAct[x]+tau*s.lsDelta[x])/s.lsB[x] - 1
-			e := expClamp(s.alpha * rr)
-			d1 += s.lsDB[x] * e
-			d2 += s.alpha * s.lsDB[x] * s.lsDB[x] * e
-		}
-		if dObj != 0 {
-			rr0 := (s.obj+tau*dObj)/s.bObj - 1
-			e := expClamp(s.alpha * rr0)
-			db := dObj / s.bObj
-			d1 += db * e
-			d2 += s.alpha * db * db * e
-		}
-		if d1 < 0 {
-			lo = tau
-		} else {
-			hi = tau
-		}
-		if hi-lo < 1e-12 {
-			break
-		}
-		next := tau
-		if d2 > 0 && !math.IsInf(d1, 0) && !math.IsInf(d2, 0) {
-			next = tau - d1/d2
-		}
-		if next <= lo || next >= hi || math.IsNaN(next) {
-			next = (lo + hi) / 2
-		}
-		if math.Abs(next-tau) < 1e-14 {
-			tau = next
-			break
-		}
-		tau = next
-	}
-	if tau <= lo || tau >= hi {
-		tau = (lo + hi) / 2
-	}
-	return tau
 }
 
 // mixBlock sets s.sol[vi] ← (1−τ)·old + τ·ns, then tightens y to the
@@ -1821,10 +1852,7 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 	if err != nil || s.ctx.Err() != nil {
 		return math.Inf(-1), nil
 	}
-	var lr float64
-	for vi := 0; vi < numBlocks; vi++ {
-		lr += s.lbBuf[vi]
-	}
+	lr := s.reduceLBSum(numBlocks)
 	for r := 0; r < s.rows; r++ {
 		lr -= q[r] * s.b[r]
 	}
@@ -1842,12 +1870,7 @@ func (s *solver) lagrangianEval(q []float64, wantGrad bool) (float64, []float64)
 		s.gradBuf = make([]float64, s.rows)
 	}
 	grad := s.gradBuf
-	for r := range grad {
-		grad[r] = 0
-	}
-	for vi := 0; vi < numBlocks; vi++ {
-		s.accumulateIntRows(vi, &s.lbSols[vi], grad)
-	}
+	s.reduceGrad(grad, numBlocks)
 	return lr, grad
 }
 

@@ -1,0 +1,180 @@
+package epf
+
+import (
+	"time"
+
+	"vodplace/internal/par"
+)
+
+// Deterministic parallel reductions (DESIGN.md §13).
+//
+// The driver-side reductions over per-block results — activity/objective
+// rebuilds in recomputeState, the Lagrangian term sum and subgradient in
+// lagrangianEval — historically ran as flat sequential sums in video order,
+// which kept them bit-identical at any worker count but made them O(blocks)
+// serial residue on large catalogs. The parallel scheme replaces the flat
+// sum with a fixed two-level tree: the catalog is cut into leaves of
+// reduceLeafBlocks consecutive videos, each leaf reduces its own videos in
+// video order (fanned out across the pool into index-addressed leaf slots),
+// and the driver merges the leaf partials in leaf order.
+//
+// The leaf boundaries are a function of the catalog size alone — never of
+// the worker count, the shard layout, or the chunk schedule — so the
+// floating-point summation tree is the same for every worker×shard
+// combination, and a catalog that fits in one leaf reduces by exactly the
+// historical flat sum. That is what lets the parallel reduction coexist
+// with the bitwise invariance contract and the pinned goldens: small
+// instances are byte-identical to every previous release, large ones are
+// deterministic under a (fixed, documented) new tree.
+
+// reduceLeafBlocks is the fixed leaf width of the deterministic reduction
+// tree. It is a variable only so tests can force the multi-leaf machinery
+// onto small instances; production solves always see the constant default.
+var reduceLeafBlocks = 2048
+
+// pdParallelMinEntries gates the parallel path-dual rebuild: below this
+// table size the fan-out dispatch costs more than the sweep. The threshold
+// compares against T·n·n, a function of the instance alone, so the gate
+// never depends on the environment.
+const pdParallelMinEntries = 1 << 14
+
+// initReduce resolves the solve's reduction layout: the fixed leaf spans and
+// their per-leaf partial buffers (multi-leaf catalogs only), and the
+// parallel path-dual rebuild gate. Runs once in newSolver, before the
+// initial recomputeState.
+func (s *solver) initReduce() {
+	numBlocks := len(s.inst.Demands)
+	if numBlocks > reduceLeafBlocks {
+		leaf := reduceLeafBlocks
+		for lo := 0; lo < numBlocks; lo += leaf {
+			hi := lo + leaf
+			if hi > numBlocks {
+				hi = numBlocks
+			}
+			s.leaves = append(s.leaves, shardSpan{lo: lo, hi: hi})
+			s.leafTasks = append(s.leafTasks, par.Task{Tag: len(s.leaves) - 1, Lo: lo, Hi: hi})
+		}
+		nl := len(s.leaves)
+		s.leafAct = make([]float64, nl*s.rows)
+		s.leafObj = make([]float64, nl)
+		s.leafSum = make([]float64, nl)
+		s.stateLeafFn = func(_, li, lo, hi int) {
+			dst := s.leafAct[li*s.rows : (li+1)*s.rows]
+			for r := range dst {
+				dst[r] = 0
+			}
+			var obj float64
+			for vi := lo; vi < hi; vi++ {
+				s.addBlockRowsTo(dst, vi, &s.sol[vi], +1)
+				obj += s.blockCost(vi, &s.sol[vi])
+			}
+			s.leafObj[li] = obj
+		}
+		s.lbSumLeafFn = func(_, li, lo, hi int) {
+			var sum float64
+			for vi := lo; vi < hi; vi++ {
+				sum += s.lbBuf[vi]
+			}
+			s.leafSum[li] = sum
+		}
+		s.gradLeafFn = func(_, li, lo, hi int) {
+			dst := s.leafGrad[li*s.rows : (li+1)*s.rows]
+			for r := range dst {
+				dst[r] = 0
+			}
+			for vi := lo; vi < hi; vi++ {
+				s.accumulateIntRows(vi, &s.lbSols[vi], dst)
+			}
+		}
+	}
+	// Parallel path-dual rebuild: every entry is an independent sum, so this
+	// is bitwise-invisible and gates only on there being enough work and
+	// more than one worker to share it.
+	if s.pool.Workers() > 1 && s.T > 0 && s.T*s.n*s.n >= pdParallelMinEntries {
+		s.pdParallel = true
+		s.pdRowFn = func(_, lo, hi int) {
+			s.rebuildPathDualRows(s.pdRebuildQ, lo, hi)
+		}
+	}
+}
+
+// parRecomputeState performs the multi-leaf parallel activity/objective
+// rebuild. Returns false when the solve has a single leaf (caller runs the
+// historical flat sum) or the fan-out could not be dispatched (cancelled
+// context; the sequential fallback still leaves consistent state).
+func (s *solver) parRecomputeState() bool {
+	if s.leafAct == nil {
+		return false
+	}
+	if err := s.pool.RunTasks(s.ctx, s.leafTasks, s.stateLeafFn); err != nil {
+		return false
+	}
+	nl, rows := len(s.leaves), s.rows
+	for r := 0; r < rows; r++ {
+		var a float64
+		for li := 0; li < nl; li++ {
+			a += s.leafAct[li*rows+r]
+		}
+		s.act[r] = a
+	}
+	var obj float64
+	for li := 0; li < nl; li++ {
+		obj += s.leafObj[li]
+	}
+	s.obj = obj
+	return true
+}
+
+// reduceLBSum reduces the per-block dual-ascent bounds in s.lbBuf to their
+// total: the flat sequential sum on single-leaf solves, the fixed-leaf tree
+// on multi-leaf ones.
+func (s *solver) reduceLBSum(numBlocks int) float64 {
+	start := time.Now()
+	defer func() { s.stats.ReduceTime += time.Since(start) }()
+	if s.leafSum != nil {
+		if err := s.pool.RunTasks(s.ctx, s.leafTasks, s.lbSumLeafFn); err == nil {
+			var lr float64
+			for li := range s.leafSum {
+				lr += s.leafSum[li]
+			}
+			return lr
+		}
+	}
+	var lr float64
+	for vi := 0; vi < numBlocks; vi++ {
+		lr += s.lbBuf[vi]
+	}
+	return lr
+}
+
+// reduceGrad accumulates the subgradient A·z_q of the current per-block
+// minimizers (s.lbSols) into grad, zeroing it first. Single-leaf solves run
+// the flat sequential accumulation; multi-leaf solves reduce per leaf and
+// merge in leaf order. The per-leaf gradient buffer is lazy — subgradients
+// are only requested during dual polish.
+func (s *solver) reduceGrad(grad []float64, numBlocks int) {
+	start := time.Now()
+	defer func() { s.stats.ReduceTime += time.Since(start) }()
+	if s.leafSum != nil {
+		if s.leafGrad == nil {
+			s.leafGrad = make([]float64, len(s.leaves)*s.rows)
+		}
+		if err := s.pool.RunTasks(s.ctx, s.leafTasks, s.gradLeafFn); err == nil {
+			nl, rows := len(s.leaves), s.rows
+			for r := 0; r < rows; r++ {
+				var a float64
+				for li := 0; li < nl; li++ {
+					a += s.leafGrad[li*rows+r]
+				}
+				grad[r] = a
+			}
+			return
+		}
+	}
+	for r := range grad {
+		grad[r] = 0
+	}
+	for vi := 0; vi < numBlocks; vi++ {
+		s.accumulateIntRows(vi, &s.lbSols[vi], grad)
+	}
+}

@@ -16,6 +16,110 @@ const integralTol = mip.IntegralTol
 // boundaries (test instrumentation only).
 var debugRound func(stage string, s *solver)
 
+// roundChunk is the dual-refresh cadence of the rounding and polish loops:
+// link duals are recomputed once per chunk of this many videos. Also the
+// fan-out granularity of the parallel rounding mode, which freezes the full
+// dual vector per chunk — the constant is mode-independent so sequential
+// and parallel rounding see the same refresh schedule.
+const roundChunk = 64
+
+// initRound prepares the parallel rounding state (Options.ParallelRound):
+// chunk-position solution slots sized for the rounding chunk, a chunkPos
+// buffer wide enough for it (the adaptive descent ChunkSize may be
+// smaller), and the fan-out body. The body mirrors chunkTaskFn but solves
+// with the full local-search facility location (SolveWarmInto, matching the
+// sequential rounding solves) under the chunk-frozen duals, and does not
+// count toward BlocksOptimized — that counter means descent-loop solves.
+func (s *solver) initRound() {
+	s.roundSols = make([]intSol, roundChunk)
+	for c := range s.roundSols {
+		s.roundSols[c].open = make([]int32, 0, s.n)
+		s.roundSols[c].assign = make([]int32, 0, s.n)
+	}
+	s.roundQ0 = make([]float64, s.n)
+	if len(s.chunkPos) < roundChunk {
+		s.chunkPos = make([]int32, roundChunk)
+	}
+	s.roundTaskFn = func(w, _, lo, hi int) {
+		ws := s.scratch.Get(w)
+		if ws.used == nil {
+			ws.used = make([]bool, s.n)
+		}
+		for idx := lo; idx < hi; idx++ {
+			c := int(s.chunkPos[idx])
+			vi := s.chunk[c]
+			s.buildBlockProblem(vi, s.q, &ws.prob)
+			ws.fs.SolveWarmInto(&ws.prob, &ws.fsol, s.roundWarm(vi))
+			toIntSolInto(&ws.fsol, &s.inst.Demands[vi], ws.used, &s.roundSols[c])
+		}
+	}
+}
+
+// parRoundSolve fans the rounding chunk's facility-location solves out to
+// the pool under the chunk-frozen dual vector s.q — a speculative solve:
+// the sequential rounding loop re-prices disk per video so each sees its
+// predecessors' in-chunk pile-up, which the frozen prices cannot. The
+// commit loop repairs that through validateRoundSol: commits run
+// sequentially in chunk order with the sequential mode's per-video disk
+// repricing, and any video whose live disk duals have drifted from the
+// frozen snapshot (s.roundQ0, taken here) is re-solved on the driver at
+// live prices. Uncongested or very large catalogs see ~no drift and keep
+// the full fan-out win; heavy in-chunk pile-up degenerates to the
+// sequential trajectory instead of herding every video onto the same
+// cheap office. All validation state is committed solver state read in
+// chunk order, so the trajectory stays independent of worker and shard
+// counts. Returns false when the fan-out could not run (cancelled
+// context); no solver state was modified.
+func (s *solver) parRoundSolve(chunk []int) bool {
+	s.chunk = chunk
+	s.buildChunkTasks()
+	copy(s.roundQ0, s.q[:s.n])
+	return s.pool.RunTasks(s.ctx, s.tasks, s.roundTaskFn) == nil
+}
+
+// roundDualTol is the relative disk-dual drift beyond which a speculative
+// rounding solve is discarded and re-solved at live prices. Dual prices are
+// exponentials of row load, so a relative change of this size reflects a
+// load shift big enough to redirect a facility choice; drift below it means
+// the frozen-price solve saw effectively current prices.
+const roundDualTol = 0.02
+
+// roundDualsDrifted reports whether any disk dual moved more than
+// roundDualTol (relatively, with an absolute floor for underflowed rows)
+// since the chunk's dual freeze.
+func (s *solver) roundDualsDrifted() bool {
+	for i := 0; i < s.n; i++ {
+		d := s.q[i] - s.roundQ0[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > roundDualTol*s.roundQ0[i]+1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// validateRoundSol finalizes chunk position c's speculative solution for
+// video vi: with vi's rows already removed from act (caller), it re-prices
+// disk exactly as the sequential loop would, and if the live prices have
+// drifted from the chunk freeze it re-solves the block on the driver,
+// overwriting the speculative slot. Returns the solution to commit.
+func (s *solver) validateRoundSol(c, vi int) *intSol {
+	s.refreshDiskDuals(s.q)
+	if s.roundDualsDrifted() {
+		s.stats.RoundResolves++
+		ws := s.scratch.Get(0)
+		if ws.used == nil {
+			ws.used = make([]bool, s.n)
+		}
+		s.buildBlockProblem(vi, s.q, &ws.prob)
+		ws.fs.SolveWarmInto(&ws.prob, &ws.fsol, s.roundWarm(vi))
+		toIntSolInto(&ws.fsol, &s.inst.Demands[vi], ws.used, &s.roundSols[c])
+	}
+	return &s.roundSols[c]
+}
+
 func integralBlock(bs *blockSol) bool {
 	for _, f := range bs.open {
 		if f.V > integralTol && f.V < 1-integralTol {
@@ -76,13 +180,15 @@ func (s *solver) round(res *Result) {
 	// is exactly what rounding must react to — with frozen disk prices,
 	// every video in a chunk would favor the same cheap office.
 	//
-	// The whole phase is sequential (each video must see its predecessors'
-	// congestion), so it borrows worker 0's scratch from the pool: the same
-	// facloc buffers the LP fan-outs warmed up, reused between fan-outs.
-	const chunk = 64
+	// The sequential mode commits one video at a time (each sees its
+	// predecessors' congestion and per-video disk re-pricing), borrowing
+	// worker 0's scratch from the pool: the same facloc buffers the LP
+	// fan-outs warmed up, reused between fan-outs. The parallel mode
+	// (Options.ParallelRound) solves each chunk's blocks concurrently under
+	// the chunk-frozen duals and commits in chunk order.
 	ws := s.scratch.Get(0)
-	for lo := 0; lo < len(frac); lo += chunk {
-		hi := lo + chunk
+	for lo := 0; lo < len(frac); lo += roundChunk {
+		hi := lo + roundChunk
 		if hi > len(frac) {
 			hi = len(frac)
 		}
@@ -91,6 +197,22 @@ func (s *solver) round(res *Result) {
 		}
 		s.computeDuals(s.q)
 		s.computePathDuals(s.q)
+		if s.opts.ParallelRound {
+			if !s.parRoundSolve(frac[lo:hi]) {
+				break
+			}
+			for c, vi := range frac[lo:hi] {
+				bs := &s.sol[vi]
+				s.addBlockRows(vi, bs, -1)
+				oldCost := s.blockCost(vi, bs)
+				ns := s.validateRoundSol(c, vi)
+				s.replaceBlock(vi, ns)
+				s.noteRoundSol(vi, ns)
+				s.addBlockRows(vi, bs, +1)
+				s.obj += s.blockCost(vi, bs) - oldCost
+			}
+			continue
+		}
 		for _, vi := range frac[lo:hi] {
 			bs := &s.sol[vi]
 			s.addBlockRows(vi, bs, -1)
@@ -154,7 +276,6 @@ func (s *solver) round(res *Result) {
 // later discover is overfull); this is the integer analogue of a gradient
 // pass and costs about the same per pass.
 func (s *solver) polishInteger(bestScore *float64, haveBest *bool) {
-	const chunk = 64
 	const polishPasses = 6
 	ws := s.scratch.Get(0)
 	order := make([]int, len(s.sol))
@@ -173,8 +294,8 @@ func (s *solver) polishInteger(bestScore *float64, haveBest *bool) {
 		useMerit := pass%2 == 0
 		s.rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		changed := 0
-		for lo := 0; lo < len(order); lo += chunk {
-			hi := lo + chunk
+		for lo := 0; lo < len(order); lo += roundChunk {
+			hi := lo + roundChunk
 			if hi > len(order) {
 				hi = len(order)
 			}
@@ -196,6 +317,26 @@ func (s *solver) polishInteger(bestScore *float64, haveBest *bool) {
 			}
 			if dcCap < floor {
 				dcCap = floor
+			}
+			if s.opts.ParallelRound {
+				if !s.parRoundSolve(order[lo:hi]) {
+					return
+				}
+				for c, vi := range order[lo:hi] {
+					bs := &s.sol[vi]
+					s.addBlockRows(vi, bs, -1)
+					oldCost := s.blockCost(vi, bs)
+					ns := s.validateRoundSol(c, vi)
+					if s.integerStepImproves(vi, bs, ns, oldCost, useMerit, dcCap) {
+						s.replaceBlock(vi, ns)
+						s.noteRoundSol(vi, ns)
+						changed++
+					}
+					s.addBlockRows(vi, bs, +1)
+					s.obj += s.blockCost(vi, bs) - oldCost
+				}
+				s.considerIntegerIncumbent(bestScore, haveBest)
+				continue
 			}
 			for _, vi := range order[lo:hi] {
 				bs := &s.sol[vi]

@@ -59,6 +59,18 @@ type Stats struct {
 	InitTime  time.Duration
 	LPTime    time.Duration
 	RoundTime time.Duration
+	// RoundResolves counts speculative parallel-rounding solves that were
+	// discarded and re-solved at live duals because the disk prices drifted
+	// during the chunk's sequential commits (Options.ParallelRound only).
+	// High counts mean heavy in-chunk disk contention: the parallel rounding
+	// degenerated toward the sequential trajectory to protect quality.
+	RoundResolves int64
+	// ReduceTime is wall time spent in driver-side reductions of per-block
+	// results: activity/objective rebuilds, Lagrangian term sums, and
+	// subgradient accumulation. A subset of LPTime (and of RoundTime for the
+	// rebuilds rounding triggers); it is the serial-residue figure the
+	// multi-core audit tracks.
+	ReduceTime time.Duration
 }
 
 // String renders a compact multi-line report, the -v output of the CLIs.
@@ -77,8 +89,12 @@ func (st Stats) String() string {
 	if st.WarmVideos > 0 {
 		fmt.Fprintf(&b, "warm-seeded videos: %d\n", st.WarmVideos)
 	}
+	if st.RoundResolves > 0 {
+		fmt.Fprintf(&b, "rounding re-solves: %d\n", st.RoundResolves)
+	}
 	fmt.Fprintf(&b, "scratch: %d allocs, %d reuses\n", st.ScratchAllocs, st.ScratchReuses)
-	fmt.Fprintf(&b, "time: init %.2fs, lp %.2fs, rounding %.2fs",
-		st.InitTime.Seconds(), st.LPTime.Seconds(), st.RoundTime.Seconds())
+	fmt.Fprintf(&b, "time: init %.2fs, lp %.2fs, rounding %.2fs (reduce %.2fs)",
+		st.InitTime.Seconds(), st.LPTime.Seconds(), st.RoundTime.Seconds(),
+		st.ReduceTime.Seconds())
 	return b.String()
 }

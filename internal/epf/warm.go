@@ -37,8 +37,11 @@ type WarmState struct {
 	RowDuals []float64
 	// Delta is the penalty scale δ the previous LP descent ended at.
 	Delta float64
-	// TauHint is the mean accepted line-search step of the previous descent,
-	// used as the Newton iteration's starting point.
+	// TauHint is the mean accepted line-search step of the previous descent.
+	// Advisory telemetry: the fixed-bisection line search no longer consumes
+	// it (the Newton variant that did was rejected for plateau drift), but
+	// it stays in the state so pipelines can track step-regime shifts across
+	// periods.
 	TauHint float64
 	// Videos maps catalog video ID → final open set.
 	Videos map[int]WarmVideo
@@ -187,15 +190,6 @@ func (s *solver) seedWarmDescent() {
 			s.delta = d
 			s.alpha = s.gammaLnM1 / s.delta
 		}
-	}
-	if h := w.TauHint; h > 0 {
-		if h < 1e-6 {
-			h = 1e-6
-		}
-		if h > 0.9 {
-			h = 0.9
-		}
-		s.tau0 = h
 	}
 }
 

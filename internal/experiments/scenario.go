@@ -63,6 +63,9 @@ type Config struct {
 	// warm solves change floating-point trajectories, so figure outputs
 	// differ slightly (never beyond the certified tolerance).
 	Warm bool
+	// NoIncremental disables the fast solver defaults (incremental pricing
+	// and parallel rounding), pinning the legacy sequential trajectory.
+	NoIncremental bool
 	// Recorder threads the telemetry layer (internal/obs) through every
 	// solver and simulator run an experiment performs. nil disables it.
 	Recorder *obs.Recorder
@@ -118,7 +121,12 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) solver() epf.Options {
-	return epf.Options{Seed: c.Seed, MaxPasses: c.MaxPasses, Epsilon: c.Epsilon, Shards: c.Shards, Recorder: c.Recorder}
+	return epf.Options{
+		Seed: c.Seed, MaxPasses: c.MaxPasses, Epsilon: c.Epsilon,
+		Shards: c.Shards, Recorder: c.Recorder,
+		IncrementalPricing: !c.NoIncremental,
+		ParallelRound:      !c.NoIncremental,
+	}
 }
 
 // audit re-checks res against inst with the independent certificate auditor

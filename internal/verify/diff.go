@@ -7,6 +7,7 @@ import (
 
 	"vodplace/internal/epf"
 	"vodplace/internal/facloc"
+	"vodplace/internal/mip"
 	"vodplace/internal/simplex"
 )
 
@@ -219,16 +220,111 @@ func diffInstance(rep *DiffReport, seed int64, o Options) error {
 		}
 	}
 
+	diffInteger(rep, inst, seed, opt, "", epfOpts)
+
+	// Mode matrix: every IncrementalPricing/Warm/ParallelRound combination
+	// the CLIs can select must hold the legacy mode's certificates on the
+	// same corpus. This sweep is what gated graduating incremental pricing
+	// (with parallel rounding) and warm starts from opt-in to default: a mode
+	// whose bound ever overshot the exact optimum, or whose objective left
+	// the LP band, would fail here before it could ship as a default.
+	modes := []struct {
+		name string
+		mut  func(*epf.Options)
+	}{
+		{"incremental", func(mo *epf.Options) {
+			mo.IncrementalPricing = true
+			mo.ParallelRound = true
+		}},
+		{"warm", func(mo *epf.Options) {
+			mo.Warm = res.Warm
+			mo.ParallelRound = true
+		}},
+		{"incremental+warm", func(mo *epf.Options) {
+			mo.IncrementalPricing = true
+			mo.Warm = res.Warm
+			mo.ParallelRound = true
+		}},
+	}
+	for _, m := range modes {
+		mOpts := epfOpts
+		m.mut(&mOpts)
+		mRes, err := epf.Solve(inst, mOpts)
+		if err != nil {
+			return fmt.Errorf("epf %s: %w", m.name, err)
+		}
+		if ar := Audit(inst, mRes); !ar.Ok() {
+			rep.failf("seed %d: %s audit: %v", seed, m.name, ar.Err())
+		}
+		if mRes.LowerBound > opt+CertTol*(1+opt) {
+			rep.failf("seed %d: %s lower bound %g exceeds exact LP optimum %g", seed, m.name, mRes.LowerBound, opt)
+		}
+		if dev := math.Abs(mRes.Objective-opt) / math.Max(1, opt); dev > rep.WorstLPDev {
+			rep.WorstLPDev = dev
+		}
+		if mRes.Objective > opt*(1+o.LPBand)+CertTol || mRes.Objective < opt*(1-o.LPBand)-CertTol {
+			rep.failf("seed %d: %s objective %g outside ±%.0f%% band around LP optimum %g (violation %+v)",
+				seed, m.name, mRes.Objective, 100*o.LPBand, opt, mRes.Violation)
+		}
+		// Certified-bound parity: the mode's exported duals must stand on
+		// their own through the independent certifier, exactly like the
+		// legacy mode's — valid, and never above the exact optimum.
+		cert, certErr := CertifyLowerBound(inst, mRes.RowDuals)
+		switch {
+		case certErr != nil:
+			rep.failf("seed %d: %s certificate: %v", seed, m.name, certErr)
+		case cert > opt+CertTol*(1+opt):
+			rep.failf("seed %d: %s certified bound %g exceeds LP optimum %g", seed, m.name, cert, opt)
+		}
+		// End-to-end determinism of the fully-loaded default mode: a sharded
+		// re-solve must reproduce it bit for bit, certificates included.
+		if m.name == "incremental+warm" && o.Shards > 0 {
+			shOpts := mOpts
+			shOpts.Shards = o.Shards
+			shRes, err := epf.Solve(inst, shOpts)
+			if err != nil {
+				return fmt.Errorf("epf %s sharded: %w", m.name, err)
+			}
+			if shRes.Objective != mRes.Objective || shRes.LowerBound != mRes.LowerBound {
+				rep.failf("seed %d: %s sharded solve (%d shards) diverged: obj %g vs %g, lb %g vs %g",
+					seed, m.name, o.Shards, shRes.Objective, mRes.Objective, shRes.LowerBound, mRes.LowerBound)
+			}
+			for r := range mRes.RowDuals {
+				if shRes.RowDuals[r] != mRes.RowDuals[r] {
+					rep.failf("seed %d: %s sharded row dual %d differs: %g vs %g",
+						seed, m.name, r, shRes.RowDuals[r], mRes.RowDuals[r])
+					break
+				}
+			}
+		}
+	}
+
+	// The integer pipeline in the new default mode (incremental pricing with
+	// parallel rounding; cold, matching a first-period CLI solve).
+	fastOpts := epfOpts
+	fastOpts.IncrementalPricing = true
+	fastOpts.ParallelRound = true
+	diffInteger(rep, inst, seed, opt, "fast ", fastOpts)
+	return nil
+}
+
+// diffInteger runs the integer rounding pipeline under the given solver
+// options and audits the result: integrality, certificate, the
+// feasible-solutions-only bound, and a wide sanity band around the LP
+// optimum. label prefixes failure messages so legacy- and fast-mode runs
+// stay distinguishable in the report.
+func diffInteger(rep *DiffReport, inst *mip.Instance, seed int64, opt float64, label string, epfOpts epf.Options) {
 	intRes, err := epf.SolveInteger(inst, epfOpts)
 	if err != nil {
-		return fmt.Errorf("epf integer: %w", err)
+		rep.failf("seed %d: %sepf integer: %v", seed, label, err)
+		return
 	}
 	ar := Audit(inst, intRes)
 	if !ar.Ok() {
-		rep.failf("seed %d: integer audit: %v", seed, ar.Err())
+		rep.failf("seed %d: %sinteger audit: %v", seed, label, ar.Err())
 	}
 	if !intRes.Sol.IsIntegral(1e-4) {
-		rep.failf("seed %d: rounded solution not integral", seed)
+		rep.failf("seed %d: %srounded solution not integral", seed, label)
 	}
 	// The certified bound applies to feasible solutions only: a rounded
 	// solution that overruns capacities by ε effectively buys extra capacity
@@ -237,7 +333,7 @@ func diffInstance(rep *DiffReport, seed int64, o Options) error {
 	feasible := intRes.Violation.Disk <= CertTol && intRes.Violation.Link <= CertTol
 	if feasible && ar.CertifiedLB > 0 &&
 		intRes.Objective < ar.CertifiedLB-CertTol*(1+ar.CertifiedLB) {
-		rep.failf("seed %d: feasible integer objective %g below certified LP bound %g", seed, intRes.Objective, ar.CertifiedLB)
+		rep.failf("seed %d: %sfeasible integer objective %g below certified LP bound %g", seed, label, intRes.Objective, ar.CertifiedLB)
 	}
 	if ar.CertifiedLB > 0 {
 		if gap := (intRes.Objective - ar.CertifiedLB) / ar.CertifiedLB; gap > rep.WorstIntGap {
@@ -247,10 +343,9 @@ func diffInstance(rep *DiffReport, seed int64, o Options) error {
 	// Rounding granularity on small instances is coarse; keep a wide sanity
 	// band around the LP optimum (the tight band is the LP comparison above).
 	if intRes.Objective > opt*1.60+CertTol || intRes.Objective < opt*0.60-CertTol {
-		rep.failf("seed %d: integer objective %g implausibly far from LP optimum %g (violation %+v)",
-			seed, intRes.Objective, opt, intRes.Violation)
+		rep.failf("seed %d: %sinteger objective %g implausibly far from LP optimum %g (violation %+v)",
+			seed, label, intRes.Objective, opt, intRes.Violation)
 	}
-	return nil
 }
 
 // diffUFL crosses the facility-location heuristics against brute force on

@@ -5,11 +5,21 @@
 //
 //	go test -run '^$' -bench . -benchmem ./internal/epf/ | go run ./tools/benchjson
 //	go test ... | go run ./tools/benchjson -baseline BENCH_epf.json
+//	go test -cpu 1,2,4 ... | go run ./tools/benchjson -cores
 //
 // With -baseline, the named file's "current" section is carried over as the
 // new record's "baseline", so re-running `make bench-json` after an
 // optimization automatically turns the previous numbers into the comparison
 // point and reports the speedup per benchmark.
+//
+// With -cores, the per-line "-N" GOMAXPROCS suffixes are kept as distinct
+// keys (a `go test -cpu 1,2,4` sweep; the suffixless key is the 1-CPU run)
+// and the record gains a "speedup_vs_1cpu" section: 1-CPU ns/op divided by
+// each multi-core variant's ns/op.
+//
+// Every record carries the host parallelism it was measured under (numcpu,
+// and outside -cores mode the uniform gomaxprocs of the run), so committed
+// numbers are honest about how many cores they had to scale across.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -36,20 +47,27 @@ type Result struct {
 // recorded, an optional baseline to compare against, and the derived
 // speedups (baseline ns/op divided by current ns/op).
 type Record struct {
-	Goos     string             `json:"goos,omitempty"`
-	Goarch   string             `json:"goarch,omitempty"`
-	Pkg      string             `json:"pkg,omitempty"`
-	CPU      string             `json:"cpu,omitempty"`
-	Current  map[string]Result  `json:"current"`
-	Baseline map[string]Result  `json:"baseline,omitempty"`
-	Speedup  map[string]float64 `json:"speedup,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	NumCPU int    `json:"numcpu,omitempty"`
+	// Gomaxprocs is the uniform GOMAXPROCS of the run, inferred from the
+	// benchmark-name suffixes; omitted for -cores sweeps, where the
+	// per-key suffix carries it.
+	Gomaxprocs   int                `json:"gomaxprocs,omitempty"`
+	Current      map[string]Result  `json:"current"`
+	Baseline     map[string]Result  `json:"baseline,omitempty"`
+	Speedup      map[string]float64 `json:"speedup,omitempty"`
+	SpeedupCores map[string]float64 `json:"speedup_vs_1cpu,omitempty"`
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "", "JSON record whose 'current' section becomes this record's baseline")
+	cores := flag.Bool("cores", false, "treat input as a -cpu sweep: keep -N name suffixes and derive speedup_vs_1cpu")
 	flag.Parse()
 
-	rec := Record{Current: map[string]Result{}}
+	rec := Record{Current: map[string]Result{}, NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -63,9 +81,12 @@ func main() {
 		case strings.HasPrefix(line, "cpu:"):
 			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			name, res, ok := parseLine(line)
+			name, procs, res, ok := parseLine(line, *cores)
 			if !ok {
 				continue
+			}
+			if !*cores && procs > rec.Gomaxprocs {
+				rec.Gomaxprocs = procs
 			}
 			// -count N repeats a benchmark; keep the fastest run, the
 			// standard way to suppress scheduling noise.
@@ -97,13 +118,29 @@ func main() {
 			rec.Baseline = prev.Current
 		}
 	}
+	if *cores {
+		rec.SpeedupCores = map[string]float64{}
+		for name, cur := range rec.Current {
+			i := strings.LastIndex(name, "-")
+			if i <= 0 {
+				continue
+			}
+			if _, err := strconv.Atoi(name[i+1:]); err != nil {
+				continue
+			}
+			if one, ok := rec.Current[name[:i]]; ok && cur.NsPerOp > 0 {
+				rec.SpeedupCores[name] = round2(one.NsPerOp / cur.NsPerOp)
+			}
+		}
+		if len(rec.SpeedupCores) == 0 {
+			rec.SpeedupCores = nil
+		}
+	}
 	if len(rec.Baseline) > 0 {
 		rec.Speedup = map[string]float64{}
 		for name, cur := range rec.Current {
 			if base, ok := rec.Baseline[name]; ok && cur.NsPerOp > 0 {
-				// Two decimals is plenty; full float64 ratios churn the
-				// committed file on every noise-level rerun.
-				rec.Speedup[name] = float64(int(base.NsPerOp/cur.NsPerOp*100+0.5)) / 100
+				rec.Speedup[name] = round2(base.NsPerOp / cur.NsPerOp)
 			}
 		}
 	}
@@ -115,23 +152,32 @@ func main() {
 	}
 }
 
+// round2 keeps committed ratios at two decimals; full float64 ratios churn
+// the file on every noise-level rerun.
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
 // parseLine splits one benchmark result row. The -benchmem columns are
-// optional; the name's "-8" GOMAXPROCS suffix is stripped so records taken
-// on different machines stay comparable keys.
-func parseLine(line string) (string, Result, bool) {
+// optional. Outside cores mode the name's "-8" GOMAXPROCS suffix is
+// stripped (and returned) so records taken on different machines stay
+// comparable keys; in cores mode the suffix is the point and stays in the
+// key. A suffixless line ran at GOMAXPROCS=1.
+func parseLine(line string, cores bool) (string, int, Result, bool) {
 	f := strings.Fields(line)
 	if len(f) < 3 {
-		return "", Result{}, false
+		return "", 0, Result{}, false
 	}
-	name := f[0]
+	name, procs := f[0], 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = n
+			if !cores {
+				name = name[:i]
+			}
 		}
 	}
 	iters, err := strconv.Atoi(f[1])
 	if err != nil {
-		return "", Result{}, false
+		return "", 0, Result{}, false
 	}
 	res := Result{Iterations: iters}
 	for i := 2; i+1 < len(f); i += 2 {
@@ -145,10 +191,10 @@ func parseLine(line string) (string, Result, bool) {
 			res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
 		}
 		if err != nil {
-			return "", Result{}, false
+			return "", 0, Result{}, false
 		}
 	}
-	return name, res, true
+	return name, procs, res, true
 }
 
 func fatal(err error) {
