@@ -112,11 +112,19 @@ trace-golden:
 # floor met, swap observed) diffed against the committed golden; the raw
 # JSON summary and daemon log are left behind as evidence. `wait` at the
 # end asserts the daemon's exit code — 0 means the drain was clean.
+# Telemetry legs: the daemon writes a lifecycle trace (-trace-out), /metrics
+# is scraped while the daemon is still serving, and after shutdown servestat
+# audits the trace invariants (-check fails the target on any violation) and
+# renders the trace + scrape into serve-smoke.telemetry.out. The Prometheus
+# scrape and the telemetry summary carry wall-clock values, so they are
+# evidence artifacts, not goldens.
 serve-smoke:
 	$(GO) build -o vodserved.smoke ./cmd/vodserved
 	$(GO) build -o vodload.smoke ./cmd/vodload
+	$(GO) build -o servestat.smoke ./tools/servestat
 	rm -f serve-smoke.addr
-	./vodserved.smoke $(SERVE_SMOKE_ARGS) -addr 127.0.0.1:0 -addr-file serve-smoke.addr > serve-smoke.log 2>&1 & \
+	./vodserved.smoke $(SERVE_SMOKE_ARGS) -addr 127.0.0.1:0 -addr-file serve-smoke.addr \
+		-trace-out serve-smoke.trace.jsonl > serve-smoke.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 300); do [ -s serve-smoke.addr ] && break; sleep 0.1; done; \
@@ -125,9 +133,13 @@ serve-smoke:
 		-updates 2 -update-size 6 -seed 1 -min-rps 1000 -wait 30s \
 		-json serve-smoke.json -golden-out serve-smoke.out \
 		|| { cat serve-smoke.log; exit 1; }; \
+	curl -sf http://$$(cat serve-smoke.addr)/metrics > serve-smoke.prom \
+		|| { echo "metrics scrape failed"; cat serve-smoke.log; exit 1; }; \
 	kill -TERM $$pid; \
 	wait $$pid || { echo "vodserved exited nonzero"; cat serve-smoke.log; exit 1; }
 	diff -u testdata/serve_smoke.golden serve-smoke.out
+	./servestat.smoke -check -metrics serve-smoke.prom serve-smoke.trace.jsonl > serve-smoke.telemetry.out
+	cat serve-smoke.telemetry.out
 
 fmt:
 	gofmt -l -w .

@@ -3,9 +3,13 @@
 // Zipf request mix or a regenerated workload trace against /route from N
 // concurrent senders, optionally streams demand-update bursts to /demand,
 // and reports throughput and latency quantiles (p50/p95/p99) plus the
-// server-side counters. With -json the summary is machine-readable; with
-// -golden-out a normalized boolean field subset is written for smoke-test
-// diffing.
+// server-side counters. When the server exposes /metrics it also scrapes
+// the route-latency histogram before and after the run and reports the
+// server-side quantiles of the interval next to the client-side ones
+// (client includes the HTTP round trip, server only the handler; a >2×
+// P99 mismatch beyond that expectation is flagged on stderr). With -json
+// the summary is machine-readable; with -golden-out a normalized boolean
+// field subset is written for smoke-test diffing.
 //
 // Usage:
 //
@@ -68,6 +72,10 @@ type summary struct {
 	RouteErrors int64 `json:"route_errors"`
 
 	LatencyMs obs.Summary `json:"latency_ms"`
+	// ServerLatencyMs is the server-side route handler latency over the run
+	// (the /metrics histogram delta between the start and end scrapes);
+	// absent when the server does not expose /metrics.
+	ServerLatencyMs *obs.Summary `json:"server_latency_ms,omitempty"`
 
 	VersionStart  uint64 `json:"version_start"`
 	VersionEnd    uint64 `json:"version_end"`
@@ -141,6 +149,10 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("vodload: %s serving v%d, %d videos, %d offices\n", *addr, st.Version, len(ids), st.VHOs)
+
+	// First /metrics scrape: the baseline the post-run scrape is diffed
+	// against. nil (server without /metrics) disables the server-side report.
+	histStart := scrapeRouteHist(client, base)
 
 	// Per-sender request streams.
 	streams, err := buildStreams(*mode, ids, st.VHOs, *concurrency, *zipfS, *seed, *traceVideos, *traceRPD)
@@ -258,6 +270,10 @@ func run() int {
 	for _, h := range hists {
 		merged.Merge(h)
 	}
+	var serverMs *obs.Summary
+	if histEnd := scrapeRouteHist(client, base); histEnd != nil {
+		serverMs = promSummaryMs(histEnd.Sub(histStart))
+	}
 	sum := summary{
 		Addr:        *addr,
 		Mode:        *mode,
@@ -269,6 +285,8 @@ func run() int {
 		HTTPErrors:  httpErrors.Load(),
 		RouteErrors: routeErrors.Load(),
 		LatencyMs:   merged.Summary(),
+
+		ServerLatencyMs: serverMs,
 
 		VersionStart:  st.Version,
 		VersionEnd:    end.Version,
@@ -284,6 +302,18 @@ func run() int {
 	fmt.Printf("errors:      http %d, route %d (server-side route errors %d)\n", sum.HTTPErrors, sum.RouteErrors, sum.ServerRouteErrors)
 	fmt.Printf("latency ms:  p50 %.3g  p95 %.3g  p99 %.3g  max %.3g\n",
 		sum.LatencyMs.P50, sum.LatencyMs.P95, sum.LatencyMs.P99, sum.LatencyMs.Max)
+	if serverMs != nil {
+		fmt.Printf("server ms:   p50 %.3g  p95 %.3g  p99 %.3g  (handler only, %d requests via /metrics)\n",
+			serverMs.P50, serverMs.P95, serverMs.P99, serverMs.Count)
+		// The client P99 includes the HTTP round trip, so it normally exceeds
+		// the handler-only server P99 by far; the reverse ordering — server
+		// P99 more than 2× the client's — can only mean a broken instrument
+		// or clock, so that mismatch is flagged.
+		if serverMs.P99 > 2*sum.LatencyMs.P99 {
+			fmt.Fprintf(os.Stderr, "vodload: warning: server-side p99 %.3gms exceeds 2x client-observed p99 %.3gms (instrument or clock anomaly?)\n",
+				serverMs.P99, sum.LatencyMs.P99)
+		}
+	}
 	fmt.Printf("placement:   v%d -> v%d (%d swaps, %d demand entries posted)\n",
 		sum.VersionStart, sum.VersionEnd, sum.SwapsObserved, sum.DemandPosted)
 
@@ -360,6 +390,45 @@ func buildStreams(mode string, ids []int, vhos, concurrency int, zipfS float64, 
 		}
 	}
 	return streams, nil
+}
+
+// scrapeRouteHist fetches /metrics and extracts the route-endpoint latency
+// histogram. Any failure (no /metrics on the server, parse error, family
+// absent) returns nil — the server-side report is best-effort.
+func scrapeRouteHist(client *http.Client, base string) *obs.PromHist {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return obs.ExtractPromHist(samples, obs.PromReqDurName, map[string]string{"endpoint": "route"})
+}
+
+// promSummaryMs renders an interval histogram (seconds) as the millisecond
+// Summary the report uses. nil when the interval holds no samples.
+func promSummaryMs(h *obs.PromHist) *obs.Summary {
+	if h == nil || h.Count <= 0 {
+		return nil
+	}
+	s := &obs.Summary{
+		Count: int64(h.Count),
+		Sum:   h.Sum * 1e3,
+		P50:   h.Quantile(0.50) * 1e3,
+		P90:   h.Quantile(0.90) * 1e3,
+		P95:   h.Quantile(0.95) * 1e3,
+		P99:   h.Quantile(0.99) * 1e3,
+		Max:   h.Quantile(1) * 1e3,
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	return s
 }
 
 func waitHealthy(client *http.Client, base string, wait time.Duration) error {

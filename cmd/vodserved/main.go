@@ -89,6 +89,10 @@ func run() int {
 		WarmOff:      *warmOff,
 		UpdateWeight: *updateW,
 		Recorder:     rec,
+		// Share the recorder's registry (nil without -trace-out, which makes
+		// the server create its own): one /metrics exposition then carries
+		// both the request counters and the event-derived families.
+		Metrics: rec.Metrics(),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -3,6 +3,7 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"time"
@@ -16,6 +17,7 @@ import (
 //	/debug/vars    — the process expvar namespace (Publish a registry first)
 //	/debug/pprof/* — live profiling via internal/prof
 //	/progress      — the recorder's live JSON snapshot
+//	/metrics       — the recorder's registry in Prometheus text format
 //
 // It listens before returning, so a caller that gets a nil error can curl
 // the address immediately; the server then runs on a background goroutine
@@ -29,6 +31,7 @@ func ServeDebug(addr string, r *Recorder) (shutdown func() error, err error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	prof.Routes(mux)
+	mux.Handle("/metrics", PromHandler(func(w io.Writer) { r.Metrics().WritePrometheus(w) }))
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		b, err := r.ProgressJSON()
 		if err != nil {

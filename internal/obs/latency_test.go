@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAtomicBucketOf(t *testing.T) {
+	for _, tc := range []struct {
+		v int64
+		b int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21}, {math.MaxInt64, histBuckets - 1},
+	} {
+		if got := atomicBucketOf(tc.v); got != tc.b {
+			t.Errorf("atomicBucketOf(%d) = %d, want %d", tc.v, got, tc.b)
+		}
+	}
+	// The bucket invariant: v must lie within (2^(b-1), 2^b] for every v.
+	var s HistSnap
+	for _, v := range []int64{1, 2, 3, 7, 100, 1023, 1024, 1025, 1 << 40} {
+		b := atomicBucketOf(v)
+		if v > s.UpperBound(b) {
+			t.Errorf("v=%d above bucket %d upper bound %d", v, b, s.UpperBound(b))
+		}
+		if b > 0 && v <= s.UpperBound(b-1) {
+			t.Errorf("v=%d should fit bucket %d already", v, b-1)
+		}
+	}
+}
+
+func TestAtomicHistQuantiles(t *testing.T) {
+	var h AtomicHist
+	// 1000 samples 1..1000 ns: p50 upper bound is the bucket holding 500
+	// (2^9 = 512), p99 the bucket holding 990 (2^10 = 1024).
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count %d, want 1000", s.Count)
+	}
+	if want := int64(1000 * 1001 / 2); s.Sum != want {
+		t.Fatalf("sum %d, want %d", s.Sum, want)
+	}
+	if q := s.Quantile(0.50); q != 512 {
+		t.Errorf("p50 %d, want 512", q)
+	}
+	if q := s.Quantile(0.99); q != 1024 {
+		t.Errorf("p99 %d, want 1024", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 %d, want 1 (first bucket upper bound)", q)
+	}
+	h.Observe(-5) // dropped
+	if got := h.Snapshot().Count; got != 1000 {
+		t.Errorf("negative sample counted: %d", got)
+	}
+
+	sum := s.SummaryMs()
+	if sum.Count != 1000 || sum.P50 != 512/1e6 || sum.Max != 1024/1e6 {
+		t.Errorf("SummaryMs = %+v", sum)
+	}
+}
+
+func TestHistSnapSub(t *testing.T) {
+	var h AtomicHist
+	h.Observe(10)
+	h.Observe(1000)
+	before := h.Snapshot()
+	h.Observe(10)
+	h.Observe(20)
+	h.Observe(3000)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 3 {
+		t.Fatalf("interval count %d, want 3", d.Count)
+	}
+	if d.Sum != 3030 {
+		t.Errorf("interval sum %d, want 3030", d.Sum)
+	}
+	// Subtracting the later snapshot from the earlier clamps at zero.
+	z := before.Sub(h.Snapshot())
+	if z.Count != 0 || z.Sum != 0 {
+		t.Errorf("reverse Sub not clamped: %+v", z)
+	}
+}
+
+// TestAtomicHistConcurrent hammers one histogram and one ReqStat from many
+// goroutines; under -race this is the data-race gate for the lock-free
+// design, and the final tallies must be exact (atomic adds lose nothing).
+func TestAtomicHistConcurrent(t *testing.T) {
+	const writers = 8
+	const perWriter = 5000
+	var h AtomicHist
+	e := NewReqStat("route")
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(w*perWriter + i)
+				h.Observe(v)
+				status := 200
+				if i%10 == 0 {
+					status = 404
+				}
+				e.Record(status, time.Duration(v))
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots must be well-formed while writes land.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := e.Latency()
+			if s.Count < 0 || s.Sum < 0 {
+				t.Error("negative snapshot")
+				return
+			}
+			e.Requests()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Errorf("count %d, want %d", s.Count, writers*perWriter)
+	}
+	if got := e.Requests(); got != writers*perWriter {
+		t.Errorf("requests %d, want %d", got, writers*perWriter)
+	}
+	want4xx := int64(writers * perWriter / 10)
+	if got := e.Class(3); got != want4xx {
+		t.Errorf("4xx class %d, want %d", got, want4xx)
+	}
+	if got := e.Class(1); got != int64(writers*perWriter)-want4xx {
+		t.Errorf("2xx class %d, want %d", got, int64(writers*perWriter)-want4xx)
+	}
+}
+
+// TestReqStatLatencySum pins the midpoint-derived sum: each bucket's
+// contribution is count × midpoint, and the result stays within the
+// documented factor-2 band of the true sum.
+func TestReqStatLatencySum(t *testing.T) {
+	e := NewReqStat("route")
+	var truth int64
+	for _, v := range []int64{1, 2, 3, 500, 900, 2000, 1 << 20} {
+		e.Record(200, time.Duration(v))
+		truth += v
+	}
+	s := e.Latency()
+	// 1→1, 2→2, 3→3·2^0=3, 500→3·2^7=384, 900→3·2^8=768, 2000→3·2^9=1536,
+	// 2^20→3·2^18.
+	want := int64(1 + 2 + 3 + 384 + 768 + 1536 + 3<<18)
+	if s.Sum != want {
+		t.Errorf("derived sum %d, want %d", s.Sum, want)
+	}
+	if s.Sum < truth/2 || s.Sum > truth*2 {
+		t.Errorf("derived sum %d outside factor-2 band of true %d", s.Sum, truth)
+	}
+	if m := midpointNS(63); m <= 0 {
+		t.Errorf("top midpoint overflowed: %d", m)
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	for _, tc := range []struct{ status, class int }{
+		{100, 0}, {200, 1}, {202, 1}, {301, 2}, {404, 3}, {405, 3}, {500, 4},
+		{599, 4}, {0, 4}, {999, 4}, {-7, 4},
+	} {
+		if got := statusClass(tc.status); got != tc.class {
+			t.Errorf("statusClass(%d) = %d, want %d", tc.status, got, tc.class)
+		}
+	}
+}
+
+// TestReqStatZeroAllocations pins the request-recording hot path at zero
+// allocations — the serve handlers call Record on every request and the
+// /route zero-alloc contract includes it.
+func TestReqStatZeroAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	e := NewReqStat("route")
+	var i int64
+	avg := testing.AllocsPerRun(1000, func() {
+		i++
+		e.Record(200, time.Duration(i*137))
+	})
+	if avg != 0 {
+		t.Errorf("ReqStat.Record allocates %.1f per call, want 0", avg)
+	}
+	var h AtomicHist
+	avg = testing.AllocsPerRun(1000, func() {
+		i++
+		h.Observe(i)
+	})
+	if avg != 0 {
+		t.Errorf("AtomicHist.Observe allocates %.1f per call, want 0", avg)
+	}
+}
+
+func TestReqStatNil(t *testing.T) {
+	var e *ReqStat
+	e.Record(200, time.Millisecond) // must not panic
+}

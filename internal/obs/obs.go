@@ -106,9 +106,10 @@ type Span struct {
 }
 
 // Event is the decoded union of every trace line; K discriminates
-// ("epf_pass", "epf_shard", "epf_done", "sim_slice", "span"). Field tags
-// match the typed event structs, so a round trip through ParseTrace
-// preserves every value.
+// ("epf_pass", "epf_shard", "epf_done", "sim_slice", "span", and the
+// serving-plane kinds "serve_resolve", "serve_swap", "serve_demand").
+// Field tags match the typed event structs, so a round trip through
+// ParseTrace preserves every value.
 type Event struct {
 	K            string  `json:"k"`
 	Stream       string  `json:"stream"`
@@ -145,6 +146,18 @@ type Event struct {
 	RemoteServed int     `json:"remote"`
 	Evictions    int     `json:"evict"`
 	HitRate      float64 `json:"hit"`
+	Version      int64   `json:"version"`
+	Trigger      string  `json:"trigger"`
+	Verdict      string  `json:"verdict"`
+	Reason       string  `json:"reason"`
+	WarmFrac     float64 `json:"warmfrac"`
+	SolveMS      float64 `json:"solvems"`
+	AuditMS      float64 `json:"auditms"`
+	BuildMS      float64 `json:"buildms"`
+	RDelta       int64   `json:"rdelta"`
+	Batch        int     `json:"batch"`
+	Drift        float64 `json:"drift"`
+	TMS          float64 `json:"tms"`
 }
 
 // progress is the live snapshot behind the /progress endpoint: the latest

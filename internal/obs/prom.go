@@ -1,0 +1,492 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the repo's dependency-free Prometheus integration: a
+// text-format (version 0.0.4) writer over the Metrics registry and the
+// ReqStat request instruments, and the minimal parser the consumers
+// (vodload, servestat) use to read a scraped snapshot back. The format is
+// hand-rolled for the same reason the JSONL tracer is: the module is
+// stdlib-only by design, the subset we emit is tiny, and a deterministic
+// byte-exact rendering (sorted families, fixed label order, shortest
+// round-trip floats) is what lets CI pin the exposition with a golden.
+
+// promContentType is the exposition content type scrapers expect.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes an instrument name into the Prometheus name charset
+// [a-zA-Z0-9_:]: every other byte (the registry's "." separators) becomes
+// "_", and a leading digit gains a "_" prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float in the shortest round-trip form ('g', like the
+// rest of the telemetry layer) so expositions are byte-deterministic.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every instrument of the registry in text format:
+// counters (expvar.Int), gauges (expvar.Float) and histograms (cumulative
+// _bucket/_sum/_count series with power-of-two le edges). Families are
+// emitted in sorted sanitized-name order, so a fixed registry renders
+// byte-identically — the property the exposition golden test pins.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	type family struct {
+		name string
+		kind string // "counter", "gauge", "histogram"
+		i    *expvar.Int
+		f    *expvar.Float
+		h    *Histogram
+	}
+	var fams []family
+	m.vars.Do(func(kv expvar.KeyValue) {
+		fam := family{name: PromName(kv.Key)}
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			fam.kind, fam.i = "counter", v
+		case *expvar.Float:
+			fam.kind, fam.f = "gauge", v
+		case *Histogram:
+			fam.kind, fam.h = "histogram", v
+		default:
+			return
+		}
+		fams = append(fams, fam)
+	})
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	bw := bufio.NewWriter(w)
+	defer bw.Flush() //nolint:errcheck // exposition best-effort, like expvar
+	for _, fam := range fams {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		switch fam.kind {
+		case "counter":
+			fmt.Fprintf(bw, "%s %d\n", fam.name, fam.i.Value())
+		case "gauge":
+			fmt.Fprintf(bw, "%s %s\n", fam.name, promFloat(fam.f.Value()))
+		case "histogram":
+			writeHistProm(bw, fam.name, "", fam.h.promSnapshot())
+		}
+	}
+}
+
+// promHistSnap is the unit-agnostic cumulative view both histogram kinds
+// render through: ascending upper edges with per-bucket own counts.
+type promHistSnap struct {
+	edges  []float64 // upper bucket edges, ascending, no +Inf
+	counts []int64   // own (non-cumulative) count per edge
+	count  int64
+	sum    float64
+}
+
+// promSnapshot extracts the mutex histogram's nonzero buckets under one
+// lock hold. Edges are the documented Histogram upper bounds 2^(b-32).
+func (h *Histogram) promSnapshot() promHistSnap {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := promHistSnap{count: h.count, sum: h.sum}
+	for b := 0; b < histBuckets; b++ {
+		if h.buckets[b] == 0 {
+			continue
+		}
+		s.edges = append(s.edges, math.Ldexp(1, b-32))
+		s.counts = append(s.counts, h.buckets[b])
+	}
+	return s
+}
+
+// writeHistProm emits one histogram family body: cumulative _bucket series
+// over the nonzero edges plus the mandatory le="+Inf", then _sum and
+// _count. labels, when non-empty, is the rendered shared label set without
+// braces (e.g. `endpoint="route"`).
+func writeHistProm(w io.Writer, name, labels string, s promHistSnap) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, edge := range s.edges {
+		cum += s.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, promFloat(edge), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(s.sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, promFloat(s.sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.count)
+	}
+}
+
+// Request-instrument family names. The duration histogram observes
+// nanoseconds internally and exposes seconds, the Prometheus base-unit
+// convention.
+const (
+	PromReqTotalName = "vod_http_requests_total"
+	PromReqDurName   = "vod_http_request_duration_seconds"
+)
+
+// WriteReqProm renders the request instruments: one counter series per
+// endpoint × status class (all five classes, a fixed shape) and one
+// latency histogram per endpoint. Endpoints render in the order given, so
+// callers pass a fixed slice and the output is deterministic for fixed
+// counts.
+func WriteReqProm(w io.Writer, stats []*ReqStat) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush() //nolint:errcheck // exposition best-effort
+	fmt.Fprintf(bw, "# TYPE %s counter\n", PromReqTotalName)
+	for _, e := range stats {
+		if e == nil {
+			continue
+		}
+		for c := range statusClassNames {
+			fmt.Fprintf(bw, "%s{endpoint=%q,code=%q} %d\n",
+				PromReqTotalName, e.Name, statusClassNames[c], e.Class(c))
+		}
+	}
+	fmt.Fprintf(bw, "# TYPE %s histogram\n", PromReqDurName)
+	for _, e := range stats {
+		if e == nil {
+			continue
+		}
+		lat := e.Latency()
+		var s promHistSnap
+		s.count = lat.Count
+		s.sum = float64(lat.Sum) / 1e9
+		for b := range lat.Buckets {
+			if lat.Buckets[b] == 0 {
+				continue
+			}
+			s.edges = append(s.edges, float64(lat.UpperBound(b))/1e9)
+			s.counts = append(s.counts, lat.Buckets[b])
+		}
+		writeHistProm(bw, PromReqDurName, fmt.Sprintf("endpoint=%q", e.Name), s)
+	}
+}
+
+// PromHandler wraps an exposition body writer as the GET /metrics handler.
+func PromHandler(body func(io.Writer)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		body(w)
+	})
+}
+
+// PromSample is one parsed exposition line: a metric name, its label set
+// (nil when bare) and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm decodes the text exposition subset this package emits (and the
+// common subset real exporters emit): comment lines are skipped, every
+// other non-empty line is `name[{labels}] value`. Timestamps and exemplars
+// are not supported; a malformed line is an error naming its number.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return out, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading metrics: %w", err)
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	val := strings.TrimSpace(rest)
+	// A trailing timestamp (rare, but legal) would appear as a second
+	// field; take the first.
+	if i := strings.IndexAny(val, " \t"); i >= 0 {
+		val = val[:i]
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", val, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels decodes `k="v",k2="v2"` with the \\, \" and \n escapes
+// the format defines.
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	rest := body
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				rest = rest[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		labels[key] = val.String()
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}
+
+// PromHist is a cumulative histogram reconstructed from parsed samples:
+// ascending le edges (always ending in +Inf) with cumulative counts, plus
+// the _sum/_count series.
+type PromHist struct {
+	Le    []float64 // ascending, last is +Inf
+	Cum   []float64 // cumulative count at each Le
+	Count float64
+	Sum   float64
+}
+
+// labelsMatchSansLe reports whether got equals want after dropping got's
+// "le" key: the bucket-series selector.
+func labelsMatchSansLe(got, want map[string]string) bool {
+	n := 0
+	for k, v := range got {
+		if k == "le" {
+			continue
+		}
+		if want[k] != v {
+			return false
+		}
+		n++
+	}
+	return n == len(want)
+}
+
+// ExtractPromHist assembles the named histogram family with the given
+// label selector from parsed samples. Returns nil when the family is
+// absent (no buckets).
+func ExtractPromHist(samples []PromSample, name string, labels map[string]string) *PromHist {
+	if labels == nil {
+		labels = map[string]string{}
+	}
+	h := &PromHist{}
+	for _, s := range samples {
+		switch s.Name {
+		case name + "_bucket":
+			if !labelsMatchSansLe(s.Labels, labels) {
+				continue
+			}
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			h.Le = append(h.Le, le)
+			h.Cum = append(h.Cum, s.Value)
+		case name + "_sum":
+			if labelsMatchSansLe(s.Labels, labels) {
+				h.Sum = s.Value
+			}
+		case name + "_count":
+			if labelsMatchSansLe(s.Labels, labels) {
+				h.Count = s.Value
+			}
+		}
+	}
+	if len(h.Le) == 0 {
+		return nil
+	}
+	sort.Sort(promHistSorter{h})
+	if !math.IsInf(h.Le[len(h.Le)-1], 1) {
+		h.Le = append(h.Le, math.Inf(1))
+		h.Cum = append(h.Cum, h.Count)
+	}
+	return h
+}
+
+type promHistSorter struct{ h *PromHist }
+
+func (s promHistSorter) Len() int           { return len(s.h.Le) }
+func (s promHistSorter) Less(a, b int) bool { return s.h.Le[a] < s.h.Le[b] }
+func (s promHistSorter) Swap(a, b int) {
+	s.h.Le[a], s.h.Le[b] = s.h.Le[b], s.h.Le[a]
+	s.h.Cum[a], s.h.Cum[b] = s.h.Cum[b], s.h.Cum[a]
+}
+
+// cumAt returns the cumulative count at upper edge le: the count of the
+// largest bucket with Le ≤ le (0 below the first).
+func (h *PromHist) cumAt(le float64) float64 {
+	i := sort.SearchFloat64s(h.Le, le)
+	// SearchFloat64s returns the first index with Le >= le; an exact hit is
+	// the bucket itself, otherwise step back.
+	if i < len(h.Le) && h.Le[i] == le {
+		return h.Cum[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return h.Cum[i-1]
+}
+
+// Sub returns the interval histogram h − o (the samples recorded between
+// scrape o and scrape h). Bucket sets may differ between scrapes — the
+// writer omits empty buckets — so the delta is taken over the union of
+// edges with cumulative-count interpolation. Negative deltas (counter
+// reset) clamp to zero.
+func (h *PromHist) Sub(o *PromHist) *PromHist {
+	if o == nil {
+		cp := &PromHist{Count: h.Count, Sum: h.Sum}
+		cp.Le = append(cp.Le, h.Le...)
+		cp.Cum = append(cp.Cum, h.Cum...)
+		return cp
+	}
+	edges := append(append([]float64{}, h.Le...), o.Le...)
+	sort.Float64s(edges)
+	d := &PromHist{}
+	for i, le := range edges {
+		if i > 0 && le == edges[i-1] {
+			continue
+		}
+		c := h.cumAt(le) - o.cumAt(le)
+		if c < 0 {
+			c = 0
+		}
+		d.Le = append(d.Le, le)
+		d.Cum = append(d.Cum, c)
+	}
+	if d.Count = h.Count - o.Count; d.Count < 0 {
+		d.Count = 0
+	}
+	if d.Sum = h.Sum - o.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
+// Quantile returns the upper edge of the bucket holding the q-th sample
+// (the standard conservative histogram quantile), 0 when empty. The +Inf
+// bucket answers with the largest finite edge.
+func (h *PromHist) Quantile(q float64) float64 {
+	total := h.Count
+	if n := len(h.Cum); total == 0 && n > 0 {
+		total = h.Cum[n-1]
+	}
+	if total <= 0 {
+		return 0
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	lastFinite := 0.0
+	for i, le := range h.Le {
+		if !math.IsInf(le, 1) {
+			lastFinite = le
+		}
+		if h.Cum[i] >= rank {
+			if math.IsInf(le, 1) {
+				return lastFinite
+			}
+			return le
+		}
+	}
+	return lastFinite
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the registry exposition byte-for-byte: a
+// fixed registry must always render the same text (sorted sanitized family
+// names, # TYPE lines, cumulative buckets, shortest-float values). CI's
+// /metrics contract rests on this determinism.
+func TestWritePrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("serve.route_requests").Add(42)
+	m.Gauge("serve.snapshot_age_seconds").Set(3.5)
+	h := m.Histogram("epf.pass_ms")
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(100)
+
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	const want = `# TYPE epf_pass_ms histogram
+epf_pass_ms_bucket{le="0.5"} 1
+epf_pass_ms_bucket{le="2"} 2
+epf_pass_ms_bucket{le="128"} 3
+epf_pass_ms_bucket{le="+Inf"} 3
+epf_pass_ms_sum 101.25
+epf_pass_ms_count 3
+# TYPE serve_route_requests counter
+serve_route_requests 42
+# TYPE serve_snapshot_age_seconds gauge
+serve_snapshot_age_seconds 3.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteReqPromGolden(t *testing.T) {
+	e := NewReqStat("route")
+	e.Record(200, 500*time.Nanosecond)
+	e.Record(200, 900*time.Nanosecond)
+	e.Record(404, 2*time.Microsecond)
+
+	var b strings.Builder
+	WriteReqProm(&b, []*ReqStat{e, nil})
+	const want = `# TYPE vod_http_requests_total counter
+vod_http_requests_total{endpoint="route",code="1xx"} 0
+vod_http_requests_total{endpoint="route",code="2xx"} 2
+vod_http_requests_total{endpoint="route",code="3xx"} 0
+vod_http_requests_total{endpoint="route",code="4xx"} 1
+vod_http_requests_total{endpoint="route",code="5xx"} 0
+# TYPE vod_http_request_duration_seconds histogram
+vod_http_request_duration_seconds_bucket{endpoint="route",le="5.12e-07"} 1
+vod_http_request_duration_seconds_bucket{endpoint="route",le="1.024e-06"} 2
+vod_http_request_duration_seconds_bucket{endpoint="route",le="2.048e-06"} 3
+vod_http_request_duration_seconds_bucket{endpoint="route",le="+Inf"} 3
+vod_http_request_duration_seconds_sum{endpoint="route"} 2.688e-06
+vod_http_request_duration_seconds_count{endpoint="route"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("request exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, out string }{
+		{"serve.route_requests", "serve_route_requests"},
+		{"epf:pass-ms", "epf:pass_ms"},
+		{"9lives", "_9lives"},
+		{"plain", "plain"},
+	} {
+		if got := PromName(tc.in); got != tc.out {
+			t.Errorf("PromName(%q) = %q, want %q", tc.in, got, tc.out)
+		}
+	}
+}
+
+// TestParsePromRoundTrip feeds the writer's own output through the parser
+// and reconstructs the latency histogram — the exact path vodload and
+// servestat use on a scraped /metrics snapshot.
+func TestParsePromRoundTrip(t *testing.T) {
+	e := NewReqStat("route")
+	for i := 1; i <= 100; i++ {
+		e.Record(200, time.Duration(i)*time.Microsecond)
+	}
+	var b strings.Builder
+	WriteReqProm(&b, []*ReqStat{e})
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ExtractPromHist(samples, PromReqDurName, map[string]string{"endpoint": "route"})
+	if h == nil {
+		t.Fatal("histogram not found in parsed exposition")
+	}
+	if h.Count != 100 {
+		t.Fatalf("count %v, want 100", h.Count)
+	}
+	// Samples 1..100 µs; the direct snapshot and the parsed reconstruction
+	// must agree on every quantile (parsed is in seconds).
+	snap := e.Latency()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := float64(snap.Quantile(q)) / 1e9
+		if got := h.Quantile(q); math.Abs(got-want) > want*1e-9 {
+			t.Errorf("q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	// The exposed sum is the midpoint-derived approximation; it must match
+	// the direct snapshot exactly (same derivation) and the true sum
+	// (5050 µs) within the documented factor-of-two bucket resolution.
+	if want := float64(snap.Sum) / 1e9; math.Abs(h.Sum-want) > want*1e-9 {
+		t.Errorf("sum %v, want %v", h.Sum, want)
+	}
+	if truth := 5050e-6; h.Sum < truth/2 || h.Sum > truth*2 {
+		t.Errorf("approximate sum %v outside factor-2 band of %v", h.Sum, truth)
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	for _, in := range []string{
+		"no_value_here",
+		`bad{le="0.5" 3`,
+		`bad{le=unquoted} 3`,
+		"name notanumber",
+	} {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProm(%q): expected error", in)
+		}
+	}
+	// Comments, blank lines and trailing timestamps parse cleanly.
+	in := "# HELP x y\n\nx{a=\"b\\\"c\",d=\"e\"} 1.5 1700000000\n"
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Value != 1.5 || samples[0].Labels["a"] != `b"c` {
+		t.Errorf("parsed %+v", samples)
+	}
+}
+
+// TestPromHistSub covers the two-scrape delta path, including the case
+// where the second scrape has buckets the first lacked.
+func TestPromHistSub(t *testing.T) {
+	e := NewReqStat("route")
+	scrape := func() *PromHist {
+		var b strings.Builder
+		WriteReqProm(&b, []*ReqStat{e})
+		samples, err := ParseProm(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ExtractPromHist(samples, PromReqDurName, map[string]string{"endpoint": "route"})
+	}
+	e.Record(200, 10*time.Microsecond)
+	before := scrape()
+	e.Record(200, 10*time.Microsecond)
+	e.Record(200, 80*time.Millisecond) // new bucket, absent from `before`
+	d := scrape().Sub(before)
+	if d.Count != 2 {
+		t.Fatalf("delta count %v, want 2", d.Count)
+	}
+	// p50 of the delta is the 10 µs bucket edge, p99 the 80 ms one.
+	if q := d.Quantile(0.5); q > 20e-6 {
+		t.Errorf("delta p50 %v too high", q)
+	}
+	if q := d.Quantile(0.99); q < 50e-3 {
+		t.Errorf("delta p99 %v too low", q)
+	}
+	if d.Sub(nil).Count != d.Count {
+		t.Errorf("Sub(nil) should copy")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x").Add(7)
+	h := PromHandler(func(w io.Writer) { m.WritePrometheus(w) })
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "x 7\n") {
+		t.Errorf("body %q", rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/metrics", nil))
+	if rr.Code != 405 {
+		t.Errorf("POST status %d, want 405", rr.Code)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // TestRouteZeroAllocations pins the /route hot path — query parse, snapshot
@@ -45,5 +46,28 @@ func TestRouteZeroAllocations(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("route hot path allocates %.1f times per lookup, want 0", avg)
+	}
+
+	// The instrumented path: the same work handleRoute does per request
+	// with latency recording enabled — clock read, parse, lookup, encode,
+	// instrument update — must also stay allocation-free.
+	idx = 0
+	avg = testing.AllocsPerRun(500, func() {
+		t0 := time.Now()
+		q := queries[idx%len(queries)]
+		idx++
+		v, j, ok := parseRouteQuery(q)
+		if !ok {
+			t.Fatalf("parseRouteQuery(%q) failed", q)
+		}
+		var status int
+		buf, status = snap.AppendRoute(buf[:0], v, j)
+		s.reqRoute.Record(status, time.Since(t0))
+	})
+	if avg != 0 {
+		t.Errorf("instrumented route path allocates %.1f times per lookup, want 0", avg)
+	}
+	if got := s.reqRoute.Requests(); got == 0 {
+		t.Error("instrument recorded nothing")
 	}
 }

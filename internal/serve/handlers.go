@@ -2,7 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
+	"time"
+
+	"vodplace/internal/obs"
 )
 
 // maxDemandBody bounds a POST /demand body (1 MiB is ~20k update entries).
@@ -14,26 +18,70 @@ const maxDemandBody = 1 << 20
 //	GET  /placement                     — the full served placement
 //	GET  /healthz                       — liveness
 //	GET  /status                        — version, counters, solve stats
+//	GET  /metrics                       — Prometheus text exposition
 //	POST /demand                        — streamed demand updates
 //
 // Contracts: malformed /route parameters are 400; a numeric but unknown
 // video or vho, and (video, vho) pairs with no open copy, are 404 with an
 // "error" field; wrong methods are 405; a /demand batch is validated as a
 // whole and rejected atomically with 400.
+//
+// Every endpoint records its latency and status class into a per-endpoint
+// obs.ReqStat served back through /metrics. /route records inline (its
+// zero-allocation contract covers the instrument); the cold endpoints go
+// through the instrumented wrapper.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", s.handleRoute)
-	mux.HandleFunc("/placement", s.handlePlacement)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/demand", s.handleDemand)
+	mux.HandleFunc("/placement", instrumented(s.reqPlacement, s.handlePlacement))
+	mux.HandleFunc("/healthz", instrumented(s.reqHealthz, s.handleHealthz))
+	mux.HandleFunc("/status", instrumented(s.reqStatus, s.handleStatus))
+	mux.HandleFunc("/demand", instrumented(s.reqDemand, s.handleDemand))
+	mux.Handle("/metrics", obs.PromHandler(s.writeMetrics))
 	return mux
 }
 
+// statusRecorder captures the status code a handler writes so the wrapper
+// can classify it (net/http offers no readback).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps a cold-path handler with latency/status recording.
+// The wrapper allocates one statusRecorder per request, which is why the
+// hot /route path records inline instead.
+func instrumented(st *obs.ReqStat, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		st.Record(sr.status, time.Since(t0))
+	}
+}
+
+// writeMetrics renders the /metrics body: the registry families first (the
+// counters the daemon always had, plus gauges and any recorder-side
+// histograms when the registry is shared), then the per-endpoint request
+// families. Gauges are refreshed first so every scrape sees current
+// snapshot age and drift.
+func (s *Server) writeMetrics(w io.Writer) {
+	s.sampleGauges()
+	s.metrics.WritePrometheus(w)
+	obs.WriteReqProm(w, s.reqStats)
+}
+
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", "GET")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.reqRoute.Record(http.StatusMethodNotAllowed, time.Since(t0))
 		return
 	}
 	s.routeRequests.Add(1)
@@ -45,6 +93,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.routeErrors.Add(1)
 		w.WriteHeader(http.StatusBadRequest)
 		w.Write([]byte(`{"error":"bad request: want /route?video=<id>&vho=<office>"}` + "\n")) //nolint:errcheck
+		s.reqRoute.Record(http.StatusBadRequest, time.Since(t0))
 		return
 	}
 	bp := s.bufPool.Get().(*[]byte)
@@ -56,6 +105,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf) //nolint:errcheck // nothing useful to do on a client hangup
 	*bp = buf
 	s.bufPool.Put(bp)
+	s.reqRoute.Record(status, time.Since(t0))
 }
 
 // placementJSON is the /placement response shape.
@@ -108,12 +158,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statusJSON struct {
 	Version    uint64  `json:"version"`
 	Certified  bool    `json:"certified"`
+	BuiltUnix  int64   `json:"built_unix"`
+	AgeSeconds float64 `json:"age_seconds"`
 	Videos     int     `json:"videos"`
 	VHOs       int     `json:"vhos"`
 	Links      int     `json:"links"`
 	Slices     int     `json:"slices"`
 	LastPasses int     `json:"last_passes"`
 	LastGapPct float64 `json:"last_gap_pct"`
+	LastReject string  `json:"last_reject"`
 
 	RouteRequests int64 `json:"route_requests"`
 	RouteErrors   int64 `json:"route_errors"`
@@ -137,17 +190,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.store.Load()
 	s.mu.Lock()
-	lastPasses, lastGap := s.lastPasses, s.lastGap
+	lastPasses, lastGap, lastReject := s.lastPasses, s.lastGap, s.lastReject
 	s.mu.Unlock()
 	out := statusJSON{
 		Version:       snap.Version,
 		Certified:     snap.Certified,
+		BuiltUnix:     snap.BuiltAt.Unix(),
+		AgeSeconds:    time.Since(snap.BuiltAt).Seconds(),
 		Videos:        snap.NumVideos(),
 		VHOs:          snap.NumVHOs(),
 		Links:         snap.Inst.G.NumLinks(),
 		Slices:        snap.Inst.Slices,
 		LastPasses:    lastPasses,
 		LastGapPct:    100 * lastGap,
+		LastReject:    lastReject,
 		RouteRequests: s.routeRequests.Value(),
 		RouteErrors:   s.routeErrors.Value(),
 		DemandUpdates: s.demandUpdates.Value(),
@@ -192,8 +248,10 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 	}
 	s.state.apply(updates)
 	s.dirty = true
+	drift := s.state.drift
 	s.mu.Unlock()
 	s.demandUpdates.Add(int64(len(updates)))
+	s.cfg.Recorder.RecordServeDemand(obs.ServeDemand{Batch: len(updates), Drift: drift})
 	s.kickResolve()
 	writeJSON(w, http.StatusAccepted, demandAck{Accepted: len(updates), Version: s.store.Load().Version})
 }

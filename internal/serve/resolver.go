@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"vodplace/internal/epf"
 	"vodplace/internal/mip"
+	"vodplace/internal/obs"
 	"vodplace/internal/verify"
 )
 
@@ -43,10 +45,12 @@ func (s *Server) kickResolve() {
 // resolveOnce rebuilds the instance from the live demand state, solves it
 // (warm-started from the last swapped-in solve unless disabled), audits the
 // result, and — only if the audit passes and the solve converged — swaps a
-// new snapshot in. On any rejection the old snapshot keeps serving and the
-// matching counter is incremented; a cancellation (shutdown) discards the
-// partial solve. Returns the swapped-in snapshot, or nil when nothing was
-// swapped.
+// new snapshot in. On any rejection the old snapshot keeps serving, the
+// matching counter is incremented, and the reject reason is kept for
+// /status; a cancellation (shutdown) discards the partial solve. The whole
+// attempt is bracketed by serve_resolve start/done trace events, and a swap
+// additionally emits serve_swap with the route-table churn. Returns the
+// swapped-in snapshot, or nil when nothing was swapped.
 func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	s.mu.Lock()
 	if !s.dirty {
@@ -56,14 +60,28 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	s.dirty = false
 	inst, err := s.state.instance(s.base)
 	warm := s.warm
+	driftAtSolve := s.state.drift
 	s.mu.Unlock()
 	s.resolvesStarted.Add(1)
+
+	cur := s.store.Load()
+	rec := s.cfg.Recorder
+	rec.RecordServeResolve(obs.ServeResolve{
+		Phase: "start", Version: int64(cur.Version + 1), Trigger: "demand",
+	})
+	// done accumulates the attempt's outcome; every return path below emits
+	// it exactly once.
+	done := obs.ServeResolve{
+		Phase: "done", Version: int64(cur.Version + 1), Trigger: "demand",
+	}
 	if err != nil {
 		s.resolvesFailed.Add(1)
+		done.Verdict, done.Reason = "failed", err.Error()
+		rec.RecordServeResolve(done)
+		s.setLastReject("rebuild failed: " + err.Error())
 		return nil, fmt.Errorf("serve: rebuilding instance: %w", err)
 	}
 
-	cur := s.store.Load()
 	if s.cfg.UpdateWeight > 0 {
 		inst.UpdateWeight = s.cfg.UpdateWeight
 		inst.Origin = originsFromSnapshot(inst, cur)
@@ -75,43 +93,84 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	if !s.cfg.WarmOff {
 		opts.Warm = warm
 	}
+	tSolve := time.Now()
 	res, err := epf.SolveIntegerContext(ctx, inst, opts)
+	done.SolveMS = float64(time.Since(tSolve).Nanoseconds()) / 1e6
+	if res != nil {
+		done.Passes = res.Passes
+		if nv := len(inst.Demands); nv > 0 {
+			done.WarmFrac = float64(res.Stats.WarmVideos) / float64(nv)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			s.resolvesCancel.Add(1)
+			done.Verdict = "cancelled"
+			rec.RecordServeResolve(done)
 			s.logf("serve: resolve discarded (shutdown) after %d passes", res.Passes)
 			return nil, err
 		}
 		s.resolvesFailed.Add(1)
+		done.Verdict, done.Reason = "failed", err.Error()
+		rec.RecordServeResolve(done)
+		s.setLastReject("solve failed: " + err.Error())
 		return nil, fmt.Errorf("serve: re-solve: %w", err)
 	}
 
 	// The swap gate: the data plane only ever serves certified placements.
 	// An audit failure means the solver's claims were wrong — keep the old
 	// snapshot and record the rejection.
-	if rep := verify.Audit(inst, res); !rep.Ok() {
+	tAudit := time.Now()
+	rep := verify.Audit(inst, res)
+	done.AuditMS = float64(time.Since(tAudit).Nanoseconds()) / 1e6
+	if !rep.Ok() {
 		s.auditRejected.Add(1)
+		reason := "audit: " + rep.Err().Error()
+		done.Verdict, done.Reason = "audit_rejected", reason
+		rec.RecordServeResolve(done)
+		s.setLastReject(reason)
 		s.logf("serve: resolve rejected by audit, keeping v%d: %v", cur.Version, rep.Err())
 		return nil, nil
 	}
 	if !res.Converged {
 		s.unconverged.Add(1)
+		reason := fmt.Sprintf("unconverged after %d passes", res.Passes)
+		done.Verdict, done.Reason = "unconverged", reason
+		rec.RecordServeResolve(done)
+		s.setLastReject(reason)
 		s.logf("serve: resolve did not converge (%d passes), keeping v%d", res.Passes, cur.Version)
 		return nil, nil
 	}
 
+	tBuild := time.Now()
 	snap, err := buildSnapshot(inst, res.Sol, cur.Version+1, true)
 	if err != nil {
 		s.resolvesFailed.Add(1)
+		done.Verdict, done.Reason = "failed", err.Error()
+		rec.RecordServeResolve(done)
+		s.setLastReject("snapshot build failed: " + err.Error())
 		return nil, fmt.Errorf("serve: building snapshot: %w", err)
 	}
+	delta := routeDelta(cur, snap)
 	s.store.Store(snap)
+	done.BuildMS = float64(time.Since(tBuild).Nanoseconds()) / 1e6
 	s.mu.Lock()
 	s.warm = res.Warm
 	s.lastPasses = res.Passes
 	s.lastGap = res.Gap
+	// The swap covered the demand mass captured at solve start; whatever
+	// arrived since stays counted as drift against the new snapshot.
+	s.state.drift -= driftAtSolve
+	if s.state.drift < 0 {
+		s.state.drift = 0
+	}
 	s.mu.Unlock()
 	s.resolvesSwapped.Add(1)
+	rec.RecordServeSwap(obs.ServeSwap{
+		Version: int64(snap.Version), RDelta: delta, BuildMS: done.BuildMS,
+	})
+	done.Verdict = "swapped"
+	rec.RecordServeResolve(done)
 	s.logf("serve: placement v%d swapped in (%d passes, gap %.2f%%, objective %.1f GB)",
 		snap.Version, res.Passes, 100*res.Gap, res.Objective)
 	return snap, nil

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vodplace/internal/epf"
 	"vodplace/internal/mip"
@@ -44,8 +45,14 @@ type Config struct {
 	// created when nil. The same instruments back the /status endpoint.
 	Metrics *obs.Metrics
 	// Recorder, when non-nil, receives solver telemetry for the initial
-	// solve and every re-solve (streams "serve.vNN").
+	// solve and every re-solve (streams "serve.vNN") plus the serving-plane
+	// lifecycle events (serve_resolve / serve_swap / serve_demand).
 	Recorder *obs.Recorder
+	// SampleInterval is the period of the gauge sampler that refreshes
+	// snapshot-age and demand-drift between scrapes. Zero means the default
+	// (10s); the /metrics handler also refreshes on every scrape, so the
+	// sampler only matters for expvar readers.
+	SampleInterval time.Duration
 	// Logf, when non-nil, receives one-line lifecycle messages (swap,
 	// rejection, shutdown discard). The daemon points it at stdout; tests
 	// capture it. May be called from the resolver goroutine.
@@ -65,14 +72,19 @@ type Server struct {
 	state *demandState
 	warm  *epf.WarmState
 	dirty bool
-	// lastPasses/lastGap describe the most recent swapped-in solve.
+	// lastPasses/lastGap describe the most recent swapped-in solve;
+	// lastReject the most recent rejected one ("" until a re-solve is
+	// rejected). Both survive across swaps so /status always explains the
+	// last anomaly.
 	lastPasses int
 	lastGap    float64
+	lastReject string
 
-	resolveCh chan struct{}
-	cancel    context.CancelFunc
-	done      chan struct{}
-	closeOnce sync.Once
+	resolveCh   chan struct{}
+	cancel      context.CancelFunc
+	done        chan struct{}
+	samplerDone chan struct{}
+	closeOnce   sync.Once
 
 	bufPool sync.Pool
 
@@ -87,6 +99,18 @@ type Server struct {
 	unconverged     *expvar.Int
 	resolvesCancel  *expvar.Int
 	resolvesFailed  *expvar.Int
+	// Sampled gauges (see sampleGauges).
+	ageGauge   *expvar.Float
+	driftGauge *expvar.Float
+
+	// Per-endpoint request instruments, exposed via /metrics. reqStats fixes
+	// the exposition order.
+	reqRoute     *obs.ReqStat
+	reqPlacement *obs.ReqStat
+	reqHealthz   *obs.ReqStat
+	reqStatus    *obs.ReqStat
+	reqDemand    *obs.ReqStat
+	reqStats     []*obs.ReqStat
 }
 
 // New solves the initial placement on inst, audits it, and starts the
@@ -144,14 +168,57 @@ func NewWithResult(inst *mip.Instance, res *epf.Result, cfg Config) (*Server, er
 		unconverged:     m.Counter("serve.unconverged_rejected"),
 		resolvesCancel:  m.Counter("serve.resolves_cancelled"),
 		resolvesFailed:  m.Counter("serve.resolves_failed"),
+		ageGauge:        m.Gauge("serve.snapshot_age_seconds"),
+		driftGauge:      m.Gauge("serve.demand_drift"),
+
+		reqRoute:     obs.NewReqStat("route"),
+		reqPlacement: obs.NewReqStat("placement"),
+		reqHealthz:   obs.NewReqStat("healthz"),
+		reqStatus:    obs.NewReqStat("status"),
+		reqDemand:    obs.NewReqStat("demand"),
 	}
+	s.reqStats = []*obs.ReqStat{s.reqRoute, s.reqPlacement, s.reqHealthz, s.reqStatus, s.reqDemand}
+	s.samplerDone = make(chan struct{})
 	s.bufPool.New = func() any {
 		b := make([]byte, 0, 256)
 		return &b
 	}
 	s.store.Store(snap)
 	go s.resolveLoop(ctx)
+	interval := cfg.SampleInterval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	go s.sampleLoop(ctx, interval)
 	return s, nil
+}
+
+// sampleLoop refreshes the sampled gauges on a ticker so expvar readers see
+// fresh snapshot-age/drift numbers even between /metrics scrapes.
+func (s *Server) sampleLoop(ctx context.Context, interval time.Duration) {
+	defer close(s.samplerDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.sampleGauges()
+		}
+	}
+}
+
+// sampleGauges publishes the two time-derived gauges: how stale the served
+// snapshot is and how much demand (L1, aggregate request units) has been
+// accepted since the last solved state.
+func (s *Server) sampleGauges() {
+	snap := s.store.Load()
+	s.ageGauge.Set(time.Since(snap.BuiltAt).Seconds())
+	s.mu.Lock()
+	drift := s.state.drift
+	s.mu.Unlock()
+	s.driftGauge.Set(drift)
 }
 
 // Snapshot returns the currently-served snapshot.
@@ -168,6 +235,7 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.cancel()
 		<-s.done
+		<-s.samplerDone
 	})
 }
 
@@ -190,11 +258,25 @@ type Stats struct {
 	Unconverged     int64
 	Cancelled       int64
 	Failed          int64
+	// LastReject explains the most recent rejected re-solve ("" when every
+	// re-solve so far swapped in).
+	LastReject string
+}
+
+// setLastReject records why the most recent re-solve was rejected.
+func (s *Server) setLastReject(reason string) {
+	s.mu.Lock()
+	s.lastReject = reason
+	s.mu.Unlock()
 }
 
 // Stats returns the current counter values.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	lastReject := s.lastReject
+	s.mu.Unlock()
 	return Stats{
+		LastReject:      lastReject,
 		Version:         s.store.Load().Version,
 		RouteRequests:   s.routeRequests.Value(),
 		RouteErrors:     s.routeErrors.Value(),

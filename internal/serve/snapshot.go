@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"vodplace/internal/mip"
 )
@@ -31,6 +32,9 @@ type Snapshot struct {
 	// Certified reports that the placement passed the independent
 	// certificate auditor (internal/verify) before it was swapped in.
 	Certified bool
+	// BuiltAt is the wall-clock construction time; /status and the
+	// snapshot-age gauge report staleness relative to it.
+	BuiltAt time.Time
 
 	// route[vi*n+j] is the serving office for instance video vi requested
 	// at office j, or -1 when the video has no open copy (unreachable).
@@ -76,6 +80,7 @@ func buildSnapshot(inst *mip.Instance, sol *mip.Solution, version uint64, certif
 		Inst:      inst,
 		Sol:       sol,
 		Certified: certified,
+		BuiltAt:   time.Now(),
 		route:     make([]int32, nv*n),
 		vidIdx:    make([]int32, maxID+1),
 		n:         n,
@@ -125,6 +130,49 @@ func buildSnapshot(inst *mip.Instance, sol *mip.Solution, version uint64, certif
 		}
 	}
 	return s, nil
+}
+
+// routeDelta counts route-table entries that differ between two snapshots,
+// matching videos by library id so re-solves over a changed catalog compare
+// sensibly: a video present on only one side contributes a full row (its
+// every destination changed answer), matched videos contribute their
+// per-destination differences. This is the churn number a swap event
+// reports — how many (video, office) routing answers the swap changed.
+func routeDelta(old, cur *Snapshot) int64 {
+	if old == nil {
+		return int64(len(cur.route))
+	}
+	var d int64
+	for id := range cur.vidIdx {
+		vi := cur.vidIdx[id]
+		if vi < 0 {
+			continue
+		}
+		var ovi int32 = -1
+		if id < len(old.vidIdx) {
+			ovi = old.vidIdx[id]
+		}
+		if ovi < 0 || old.n != cur.n {
+			d += int64(cur.n)
+			continue
+		}
+		row := cur.route[int(vi)*cur.n : (int(vi)+1)*cur.n]
+		orow := old.route[int(ovi)*old.n : (int(ovi)+1)*old.n]
+		for j := range row {
+			if row[j] != orow[j] {
+				d++
+			}
+		}
+	}
+	for id := range old.vidIdx {
+		if old.vidIdx[id] < 0 {
+			continue
+		}
+		if id >= len(cur.vidIdx) || cur.vidIdx[id] < 0 {
+			d += int64(old.n)
+		}
+	}
+	return d
 }
 
 // Route returns the serving office for library video id at office vho.

@@ -41,6 +41,12 @@ type demandState struct {
 	// demand by an update, derived from the seed instance's global
 	// conc/agg ratio so streamed updates look like the existing mix.
 	concFrac []float64
+	// drift is the L1 aggregate-demand distance accumulated by apply since
+	// the last state a swapped-in solve was built from: the staleness signal
+	// behind the serve.demand_drift gauge. The resolver subtracts the mass a
+	// successful swap covered (see resolveOnce) rather than zeroing, so
+	// updates that land mid-solve stay counted.
+	drift float64
 }
 
 // defaultConcFrac is the per-slice concurrency/aggregate ratio used when
@@ -116,10 +122,12 @@ func (st *demandState) validate(us []DemandUpdate) error {
 func (st *demandState) apply(us []DemandUpdate) {
 	for _, u := range us {
 		row := &st.rows[st.byID[u.Video]]
+		prev := row.agg[u.VHO]
 		row.agg[u.VHO] += u.Add
 		if row.agg[u.VHO] < 0 {
 			row.agg[u.VHO] = 0
 		}
+		st.drift += math.Abs(row.agg[u.VHO] - prev)
 		for t := range row.conc {
 			row.conc[t][u.VHO] += u.Add * st.concFrac[t]
 			if row.conc[t][u.VHO] < 0 {
