@@ -62,7 +62,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench Scale -benchmem -count 1 -timeout 60m ./internal/experiments/ \
 		| $(GO) run ./tools/benchjson -baseline BENCH_scale.json > BENCH_scale.json.tmp
 	mv BENCH_scale.json.tmp BENCH_scale.json
-	$(GO) test -run '^$$' -bench Serve -benchmem -count 3 ./internal/serve/ \
+	$(GO) test -run '^$$' -bench 'Serve|Resolve' -benchmem -count 3 ./internal/serve/ \
 		| $(GO) run ./tools/benchjson -baseline BENCH_serve.json > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
 
@@ -114,7 +114,9 @@ trace-golden:
 # end asserts the daemon's exit code — 0 means the drain was clean.
 # Telemetry legs: the daemon writes a lifecycle trace (-trace-out), /metrics
 # is scraped while the daemon is still serving, and after shutdown servestat
-# audits the trace invariants (-check fails the target on any violation) and
+# audits the trace invariants (-check fails the target on any violation),
+# asserts the delta resolve path actually fired (-expect-delta: at least one
+# swap must have rebuilt fewer route rows than the catalog holds) and
 # renders the trace + scrape into serve-smoke.telemetry.out. The Prometheus
 # scrape and the telemetry summary carry wall-clock values, so they are
 # evidence artifacts, not goldens.
@@ -138,7 +140,7 @@ serve-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "vodserved exited nonzero"; cat serve-smoke.log; exit 1; }
 	diff -u testdata/serve_smoke.golden serve-smoke.out
-	./servestat.smoke -check -metrics serve-smoke.prom serve-smoke.trace.jsonl > serve-smoke.telemetry.out
+	./servestat.smoke -check -expect-delta -metrics serve-smoke.prom serve-smoke.trace.jsonl > serve-smoke.telemetry.out
 	cat serve-smoke.telemetry.out
 
 fmt:

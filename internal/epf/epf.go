@@ -132,6 +132,12 @@ type Options struct {
 	// placement period — give each a distinct stream so their pass series
 	// don't interleave.
 	TraceStream string
+	// DirtyVideos, when non-empty, lists the video indices (ascending) whose
+	// demand changed since the instance was last solved. Telemetry only: the
+	// solver records the count and the per-shard dirty fractions in Stats so
+	// warm re-solves expose how localized the change was, but the solve
+	// itself never reads it — numerics are identical with or without it.
+	DirtyVideos []int
 }
 
 // PassInfo reports solver progress after a pass.
@@ -637,6 +643,33 @@ func resolveShards(inst *mip.Instance, want int) []shardSpan {
 	}
 	if len(out) == 0 {
 		out = append(out, shardSpan{lo: 0, hi: numBlocks})
+	}
+	return out
+}
+
+// shardDirtyFractions maps an ascending dirty-video list onto the shard
+// layout: out[si] is the fraction of shard si's videos appearing in dirty,
+// computed with one merge pass since both sides are sorted. Nil when no
+// dirty list was passed (cold solves, full rebuilds) so Stats stays compact
+// in the common case.
+func shardDirtyFractions(shards []shardSpan, dirty []int) []float64 {
+	if len(dirty) == 0 || len(shards) == 0 {
+		return nil
+	}
+	out := make([]float64, len(shards))
+	di := 0
+	for si, sp := range shards {
+		for di < len(dirty) && dirty[di] < sp.lo {
+			di++
+		}
+		n := 0
+		for di < len(dirty) && dirty[di] < sp.hi {
+			n++
+			di++
+		}
+		if sp.hi > sp.lo {
+			out[si] = float64(n) / float64(sp.hi-sp.lo)
+		}
 	}
 	return out
 }
@@ -1471,6 +1504,8 @@ func (s *solver) buildResult(passes int, converged bool) *Result {
 		gap = (obj - s.lb) / s.lb
 	}
 	s.stats.Passes = passes
+	s.stats.DirtyVideos = len(s.opts.DirtyVideos)
+	s.stats.ShardDirtyFrac = shardDirtyFractions(s.shards, s.opts.DirtyVideos)
 	s.mergeStats()
 	res := &Result{
 		Sol:        out,

@@ -49,6 +49,16 @@ type Stats struct {
 	// cold init. WarmVideos / NumVideos is the warm reuse fraction the
 	// pipeline telemetry reports. Zero on cold solves.
 	WarmVideos int
+	// DirtyVideos echoes len(Options.DirtyVideos): how many videos' demand
+	// changed since the previous solve on this instance. Zero on cold solves
+	// and full rebuilds that pass no dirty list.
+	DirtyVideos int
+	// ShardDirtyFrac is the fraction of each shard's videos that appear in
+	// Options.DirtyVideos, indexed like the shard schedule. Nil when no
+	// dirty list was passed; the delta-resolve telemetry uses it to show
+	// whether a demand change was localized to a few shards or smeared
+	// across the catalog.
+	ShardDirtyFrac []float64
 	// ScratchAllocs / ScratchReuses report the per-worker scratch economy:
 	// allocs should stay ≤ Workers, everything else lands in reuses.
 	ScratchAllocs int64
@@ -88,6 +98,17 @@ func (st Stats) String() string {
 	}
 	if st.WarmVideos > 0 {
 		fmt.Fprintf(&b, "warm-seeded videos: %d\n", st.WarmVideos)
+	}
+	if st.DirtyVideos > 0 {
+		fmt.Fprintf(&b, "dirty videos: %d", st.DirtyVideos)
+		if len(st.ShardDirtyFrac) > 1 {
+			b.WriteString(" (per-shard frac:")
+			for _, f := range st.ShardDirtyFrac {
+				fmt.Fprintf(&b, " %.2f", f)
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
 	}
 	if st.RoundResolves > 0 {
 		fmt.Fprintf(&b, "rounding re-solves: %d\n", st.RoundResolves)

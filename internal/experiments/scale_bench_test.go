@@ -84,6 +84,18 @@ func BenchmarkScaleBuild1k(b *testing.B)   { benchmarkScaleBuild(b, 1_000) }
 func BenchmarkScaleBuild10k(b *testing.B)  { benchmarkScaleBuild(b, 10_000) }
 func BenchmarkScaleBuild100k(b *testing.B) { benchmarkScaleBuild(b, 100_000) }
 
+// BenchmarkScaleBuild1M is the catalog-scale ceiling point: a full
+// 1M-video trace generation + streamed instance build. Build only — a
+// solve at this size belongs to a cores sweep, not the scale gate. The
+// workload generation and the build peak at several GB, so -short (CI's
+// bench smoke) skips it; `make bench-json` runs it for BENCH_scale.json.
+func BenchmarkScaleBuild1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-video build needs several GB and minutes; skipped under -short")
+	}
+	benchmarkScaleBuild(b, 1_000_000)
+}
+
 func BenchmarkScaleSolve1k(b *testing.B)   { benchmarkScaleSolve(b, 1_000, 4) }
 func BenchmarkScaleSolve10k(b *testing.B)  { benchmarkScaleSolve(b, 10_000, 3) }
 func BenchmarkScaleSolve100k(b *testing.B) { benchmarkScaleSolve(b, 100_000, 2) }

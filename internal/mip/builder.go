@@ -112,23 +112,14 @@ func NewInstanceBuilder(g *topology.Graph, diskGB, linkCapMbps []float64, slices
 // NumAdded returns the number of demands accepted so far.
 func (b *InstanceBuilder) NumAdded() int { return len(b.demands) }
 
-// Add validates one video demand and appends it to the instance under
-// construction. The demand's Js, Agg and dense Conc staging are copied (Conc
-// as CSR nonzeros only), so callers may reuse d — including its backing
-// slices — for the next video. Demands keep their Add order, which is the
-// instance's video index order.
-func (b *InstanceBuilder) Add(d *VideoDemand) error {
-	return b.add(d, true)
-}
-
-// add is Add with an ownership flag: with copyData false the demand's Js and
-// Agg slices are adopted rather than copied (the NewInstance wrapper, which
-// owns its input slice, uses this to keep the batch path allocation-neutral).
-func (b *InstanceBuilder) add(d *VideoDemand, copyData bool) error {
-	if b.sealed {
-		return fmt.Errorf("mip: Add after Seal")
-	}
-	n := b.g.NumNodes()
+// validateDemand checks one staged demand against the instance dimensions
+// (n offices, slices enforced time slices): positive size and rate, matching
+// Js/Agg/Conc shapes, strictly ascending in-range offices, non-negative
+// aggregates. Every construction route — InstanceBuilder.Add, NewInstance
+// through it, and the in-place patch Instance.ApplyDemandDelta — runs this
+// one helper, so the checks, messages and their order cannot drift between
+// the streaming, batch and patch paths.
+func validateDemand(d *VideoDemand, n, slices int) error {
 	if d.SizeGB <= 0 {
 		return fmt.Errorf("mip: video %d has non-positive size %g", d.Video, d.SizeGB)
 	}
@@ -138,8 +129,8 @@ func (b *InstanceBuilder) add(d *VideoDemand, copyData bool) error {
 	if len(d.Agg) != len(d.Js) {
 		return fmt.Errorf("mip: video %d has %d agg entries for %d offices", d.Video, len(d.Agg), len(d.Js))
 	}
-	if len(d.Conc) != b.slices {
-		return fmt.Errorf("mip: video %d has %d concurrency slices, want %d", d.Video, len(d.Conc), b.slices)
+	if len(d.Conc) != slices {
+		return fmt.Errorf("mip: video %d has %d concurrency slices, want %d", d.Video, len(d.Conc), slices)
 	}
 	for t := range d.Conc {
 		if len(d.Conc[t]) != len(d.Js) {
@@ -156,6 +147,28 @@ func (b *InstanceBuilder) add(d *VideoDemand, copyData bool) error {
 		if d.Agg[k] < 0 {
 			return fmt.Errorf("mip: video %d has negative demand at office %d", d.Video, j)
 		}
+	}
+	return nil
+}
+
+// Add validates one video demand and appends it to the instance under
+// construction. The demand's Js, Agg and dense Conc staging are copied (Conc
+// as CSR nonzeros only), so callers may reuse d — including its backing
+// slices — for the next video. Demands keep their Add order, which is the
+// instance's video index order.
+func (b *InstanceBuilder) Add(d *VideoDemand) error {
+	return b.add(d, true)
+}
+
+// add is Add with an ownership flag: with copyData false the demand's Js and
+// Agg slices are adopted rather than copied (the NewInstance wrapper, which
+// owns its input slice, uses this to keep the batch path allocation-neutral).
+func (b *InstanceBuilder) add(d *VideoDemand, copyData bool) error {
+	if b.sealed {
+		return fmt.Errorf("mip: Add after Seal")
+	}
+	if err := validateDemand(d, b.g.NumNodes(), b.slices); err != nil {
+		return err
 	}
 
 	nd := VideoDemand{

@@ -170,6 +170,15 @@ type Instance struct {
 
 	hops []int16 // cached hop counts, row-major [i*n+j]
 
+	// generation counts the in-place demand patches applied through
+	// ApplyDemandDelta since construction (0 on a freshly built instance).
+	// Patched rows get fresh backing arrays (copy-on-write), so slices read
+	// from a demand before a patch stay valid; the counter is how a caller
+	// holding derived state (route tables, warm starts) detects that the
+	// instance value moved on. Single-writer: patches and the counter are
+	// not synchronized, so all mutation must come from one goroutine.
+	generation uint64
+
 	// costT is the dense transfer-cost matrix in j-major (destination-major)
 	// layout: costT[j*n+i] = c_ij = α|P_ij| + β. Block pricing walks a fixed
 	// destination j over all sources i, so the column layout keeps that scan

@@ -157,6 +157,9 @@ type Event struct {
 	RDelta       int64   `json:"rdelta"`
 	Batch        int     `json:"batch"`
 	Drift        float64 `json:"drift"`
+	Dirty        int     `json:"dirty"`
+	Rebuilt      int64   `json:"rebuilt"`
+	Rows         int64   `json:"rows"`
 	TMS          float64 `json:"tms"`
 }
 

@@ -27,6 +27,8 @@ type ServeResolve struct {
 	SolveMS  float64 `json:"solvems"`  // done: integer-solve wall time
 	AuditMS  float64 `json:"auditms"`  // done: certification wall time
 	BuildMS  float64 `json:"buildms"`  // done, swapped: snapshot build+publish wall time
+	Dirty    int     `json:"dirty"`    // done: demand-dirty videos this attempt resolved
+	Rebuilt  int64   `json:"rebuilt"`  // done, swapped: route rows recomputed (vs copied) by the snapshot build
 	TMS      float64 `json:"tms"`      // ms since recorder start (stamped by the recorder)
 }
 
@@ -36,6 +38,12 @@ type ServeSwap struct {
 	Version int64   `json:"version"` // the new snapshot's version
 	RDelta  int64   `json:"rdelta"`  // route-table entries that changed vs. the previous snapshot
 	BuildMS float64 `json:"buildms"` // snapshot build+publish wall time
+	// Rebuilt/Rows report the snapshot build's delta economy: of the Rows
+	// route rows (one per video), Rebuilt were recomputed and the rest
+	// copied from the previous snapshot. Rebuilt == Rows on a full rebuild;
+	// both zero in traces from pre-delta releases.
+	Rebuilt int64   `json:"rebuilt"`
+	Rows    int64   `json:"rows"`
 	TMS     float64 `json:"tms"`
 }
 
@@ -78,6 +86,8 @@ func (r *Recorder) RecordServeResolve(e ServeResolve) {
 			b = appendFloat(b, ",\"solvems\":", e.SolveMS)
 			b = appendFloat(b, ",\"auditms\":", e.AuditMS)
 			b = appendFloat(b, ",\"buildms\":", e.BuildMS)
+			b = appendInt(b, ",\"dirty\":", int64(e.Dirty))
+			b = appendInt(b, ",\"rebuilt\":", e.Rebuilt)
 		}
 		b = appendFloat(b, ",\"tms\":", e.TMS)
 		r.buf = r.writeLine(b)
@@ -108,6 +118,8 @@ func (r *Recorder) RecordServeSwap(e ServeSwap) {
 		b = appendInt(b, ",\"version\":", e.Version)
 		b = appendInt(b, ",\"rdelta\":", e.RDelta)
 		b = appendFloat(b, ",\"buildms\":", e.BuildMS)
+		b = appendInt(b, ",\"rebuilt\":", e.Rebuilt)
+		b = appendInt(b, ",\"rows\":", e.Rows)
 		b = appendFloat(b, ",\"tms\":", e.TMS)
 		r.buf = r.writeLine(b)
 	}
@@ -116,6 +128,7 @@ func (r *Recorder) RecordServeSwap(e ServeSwap) {
 	m.Counter("serve_swaps_total").Add(1)
 	m.Gauge("serve_snapshot_version").Set(float64(e.Version))
 	m.Gauge("serve_route_delta").Set(float64(e.RDelta))
+	m.Gauge("serve_rows_rebuilt").Set(float64(e.Rebuilt))
 	m.Histogram("serve_swap_build_ms").Observe(e.BuildMS)
 	r.PublishKV("serve_swap", e)
 }

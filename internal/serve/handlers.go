@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,6 +12,42 @@ import (
 
 // maxDemandBody bounds a POST /demand body (1 MiB is ~20k update entries).
 const maxDemandBody = 1 << 20
+
+// demandScratch is one pooled POST /demand decode state: the raw-body read
+// buffer (grows toward maxDemandBody and stays) and the decoded batch
+// slice, both reused across requests so a steady update stream stops
+// churning the heap. Contents are only valid until the scratch goes back to
+// the pool — apply/validate copy what they keep, so the handler can defer
+// the Put.
+type demandScratch struct {
+	body    []byte
+	updates []DemandUpdate
+}
+
+// readDemandBatch reads a request body into sc.body (capped at
+// maxDemandBody via MaxBytesReader, which also closes the connection on
+// abuse) and decodes it into sc.updates, reusing both buffers' capacity.
+func readDemandBatch(w http.ResponseWriter, body io.ReadCloser, sc *demandScratch) error {
+	lim := http.MaxBytesReader(w, body, maxDemandBody)
+	sc.body = sc.body[:0]
+	for {
+		if len(sc.body) == cap(sc.body) {
+			sc.body = append(sc.body, 0)[:len(sc.body)]
+		}
+		n, err := lim.Read(sc.body[len(sc.body):cap(sc.body)])
+		sc.body = sc.body[:len(sc.body)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(sc.body))
+	dec.DisallowUnknownFields()
+	sc.updates = sc.updates[:0]
+	return dec.Decode(&sc.updates)
+}
 
 // Handler returns the service's HTTP surface:
 //
@@ -229,13 +266,13 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	var updates []DemandUpdate
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDemandBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&updates); err != nil {
+	sc := s.demandPool.Get().(*demandScratch)
+	defer s.demandPool.Put(sc)
+	if err := readDemandBatch(w, r.Body, sc); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed demand body: " + err.Error()})
 		return
 	}
+	updates := sc.updates
 	if len(updates) == 0 {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty demand batch"})
 		return

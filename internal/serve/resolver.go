@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"vodplace/internal/epf"
@@ -42,14 +43,21 @@ func (s *Server) kickResolve() {
 	}
 }
 
-// resolveOnce rebuilds the instance from the live demand state, solves it
-// (warm-started from the last swapped-in solve unless disabled), audits the
-// result, and — only if the audit passes and the solve converged — swaps a
-// new snapshot in. On any rejection the old snapshot keeps serving, the
+// resolveOnce brings the live instance up to date with the demand state,
+// solves it (warm-started from the last swapped-in solve unless disabled),
+// audits the result, and — only if the audit passes and the solve converged
+// — swaps a new snapshot in. The default delta path patches just the
+// demand-dirty videos of the live instance in place (state.patchInstance)
+// and hands the incremental snapshot build the set of videos dirtied since
+// the published snapshot, so both the instance refresh and the route-table
+// build cost O(changed) instead of O(catalog); DeltaOff (or a patch
+// failure) falls back to the full re-stream, which is bit-identical
+// (DESIGN.md §15). On any rejection the old snapshot keeps serving, the
 // matching counter is incremented, and the reject reason is kept for
 // /status; a cancellation (shutdown) discards the partial solve. The whole
-// attempt is bracketed by serve_resolve start/done trace events, and a swap
-// additionally emits serve_swap with the route-table churn. Returns the
+// attempt is bracketed by serve_resolve start/done trace events (done
+// carries the dirty count and rows rebuilt), and a swap additionally emits
+// serve_swap with the route-table churn and delta economy. Returns the
 // swapped-in snapshot, or nil when nothing was swapped.
 func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	s.mu.Lock()
@@ -58,11 +66,53 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 		return nil, nil
 	}
 	s.dirty = false
-	inst, err := s.state.instance(s.base)
+	dirty := s.state.drainDirty()
+	catalog := len(s.state.rows)
+	var inst *mip.Instance
+	var err error
+	delta := !s.cfg.DeltaOff && s.live != nil
+	if delta {
+		inst = s.live
+		if perr := s.state.patchInstance(inst, dirty); perr != nil {
+			// Should not happen — the state already validated these rows —
+			// but a half-applied patch is recoverable: fall back to the full
+			// rebuild, which replaces the live instance wholesale.
+			s.logf("serve: demand patch failed, rebuilding from scratch: %v", perr)
+			delta = false
+		}
+	}
+	if !delta {
+		inst, err = s.state.instance(s.base)
+		if err == nil {
+			s.live = inst
+		} else {
+			// The drained dirty rows never reached an instance; drop the
+			// stale live so the next attempt rebuilds rather than patching
+			// an instance that missed them.
+			s.live = nil
+		}
+	}
+	// Remember what this attempt dirtied until a snapshot actually
+	// publishes: a rejected attempt leaves its patches in the live
+	// instance, so the next successful build must still treat those rows
+	// as suspect.
+	for _, vi := range dirty {
+		s.snapDirty[vi] = struct{}{}
+	}
+	snapDirty := make([]int, 0, len(s.snapDirty))
+	for vi := range s.snapDirty {
+		snapDirty = append(snapDirty, vi)
+	}
+	sort.Ints(snapDirty)
 	warm := s.warm
 	driftAtSolve := s.state.drift
 	s.mu.Unlock()
 	s.resolvesStarted.Add(1)
+	if delta && catalog > 0 {
+		s.deltaGauge.Set(float64(len(dirty)) / float64(catalog))
+	} else {
+		s.deltaGauge.Set(1)
+	}
 
 	cur := s.store.Load()
 	rec := s.cfg.Recorder
@@ -73,6 +123,7 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	// it exactly once.
 	done := obs.ServeResolve{
 		Phase: "done", Version: int64(cur.Version + 1), Trigger: "demand",
+		Dirty: len(dirty),
 	}
 	if err != nil {
 		s.resolvesFailed.Add(1)
@@ -93,6 +144,7 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	if !s.cfg.WarmOff {
 		opts.Warm = warm
 	}
+	opts.DirtyVideos = dirty
 	tSolve := time.Now()
 	res, err := epf.SolveIntegerContext(ctx, inst, opts)
 	done.SolveMS = float64(time.Since(tSolve).Nanoseconds()) / 1e6
@@ -143,7 +195,7 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	}
 
 	tBuild := time.Now()
-	snap, err := buildSnapshot(inst, res.Sol, cur.Version+1, true)
+	snap, rebuilt, err := buildSnapshotFrom(cur, snapDirty, inst, res.Sol, cur.Version+1, true)
 	if err != nil {
 		s.resolvesFailed.Add(1)
 		done.Verdict, done.Reason = "failed", err.Error()
@@ -151,13 +203,16 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 		s.setLastReject("snapshot build failed: " + err.Error())
 		return nil, fmt.Errorf("serve: building snapshot: %w", err)
 	}
-	delta := routeDelta(cur, snap)
+	rdelta := routeDelta(cur, snap)
 	s.store.Store(snap)
 	done.BuildMS = float64(time.Since(tBuild).Nanoseconds()) / 1e6
+	done.Rebuilt = rebuilt
 	s.mu.Lock()
 	s.warm = res.Warm
 	s.lastPasses = res.Passes
 	s.lastGap = res.Gap
+	// The published snapshot now reflects every row dirtied so far.
+	clear(s.snapDirty)
 	// The swap covered the demand mass captured at solve start; whatever
 	// arrived since stays counted as drift against the new snapshot.
 	s.state.drift -= driftAtSolve
@@ -167,7 +222,8 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	s.mu.Unlock()
 	s.resolvesSwapped.Add(1)
 	rec.RecordServeSwap(obs.ServeSwap{
-		Version: int64(snap.Version), RDelta: delta, BuildMS: done.BuildMS,
+		Version: int64(snap.Version), RDelta: rdelta, BuildMS: done.BuildMS,
+		Rebuilt: rebuilt, Rows: int64(len(inst.Demands)),
 	})
 	done.Verdict = "swapped"
 	rec.RecordServeResolve(done)

@@ -41,6 +41,14 @@ type Config struct {
 	// away from the currently-served placement (objective (11) with origins
 	// taken from the live snapshot), damping churn between snapshots.
 	UpdateWeight float64
+	// DeltaOff disables the delta resolve path: every re-solve re-streams
+	// the whole catalog into a fresh instance and rebuilds the full route
+	// table, as pre-delta releases did. Default off — the resolver patches
+	// the dirty videos of its live instance in place and the snapshot build
+	// recomputes only rows whose open set or demand changed. Both paths
+	// produce bit-identical snapshots (DESIGN.md §15); this switch exists
+	// for differential tests and as an operational escape hatch.
+	DeltaOff bool
 	// Metrics receives the server's counters; a fresh private registry is
 	// created when nil. The same instruments back the /status endpoint.
 	Metrics *obs.Metrics
@@ -72,6 +80,18 @@ type Server struct {
 	state *demandState
 	warm  *epf.WarmState
 	dirty bool
+	// live is the instance re-solves run on. The delta path patches its
+	// dirty demand rows in place (mip.ApplyDemandDelta) instead of
+	// re-streaming the catalog; a full rebuild (DeltaOff, or a patch
+	// failure) replaces it wholesale. Only the resolver goroutine mutates
+	// it, and only demand-side fields — the identity fields snapshot
+	// readers touch are immutable under a patch.
+	live *mip.Instance
+	// snapDirty accumulates the videos dirtied since the published
+	// snapshot was built — across rejected resolve attempts, whose patches
+	// stick to live without publishing — and is cleared on a swap. It is
+	// the invalidation list handed to the incremental snapshot build.
+	snapDirty map[int]struct{}
 	// lastPasses/lastGap describe the most recent swapped-in solve;
 	// lastReject the most recent rejected one ("" until a re-solve is
 	// rejected). Both survive across swaps so /status always explains the
@@ -87,6 +107,8 @@ type Server struct {
 	closeOnce   sync.Once
 
 	bufPool sync.Pool
+	// demandPool recycles POST /demand decode scratch (see demandScratch).
+	demandPool sync.Pool
 
 	metrics *obs.Metrics
 	// Counters, prefetched so the hot path is one atomic add.
@@ -102,6 +124,10 @@ type Server struct {
 	// Sampled gauges (see sampleGauges).
 	ageGauge   *expvar.Float
 	driftGauge *expvar.Float
+	// deltaGauge is serve.delta_fraction: the dirty-video fraction of the
+	// most recent resolve attempt (1 when the attempt fell back to a full
+	// rebuild), the signal EXPERIMENTS.md correlates with resolve latency.
+	deltaGauge *expvar.Float
 
 	// Per-endpoint request instruments, exposed via /metrics. reqStats fixes
 	// the exposition order.
@@ -152,6 +178,8 @@ func NewWithResult(inst *mip.Instance, res *epf.Result, cfg Config) (*Server, er
 		base:       inst,
 		state:      stateFromInstance(inst),
 		warm:       res.Warm,
+		live:       inst,
+		snapDirty:  make(map[int]struct{}),
 		lastPasses: res.Passes,
 		lastGap:    res.Gap,
 		resolveCh:  make(chan struct{}, 1),
@@ -170,6 +198,7 @@ func NewWithResult(inst *mip.Instance, res *epf.Result, cfg Config) (*Server, er
 		resolvesFailed:  m.Counter("serve.resolves_failed"),
 		ageGauge:        m.Gauge("serve.snapshot_age_seconds"),
 		driftGauge:      m.Gauge("serve.demand_drift"),
+		deltaGauge:      m.Gauge("serve.delta_fraction"),
 
 		reqRoute:     obs.NewReqStat("route"),
 		reqPlacement: obs.NewReqStat("placement"),
@@ -182,6 +211,9 @@ func NewWithResult(inst *mip.Instance, res *epf.Result, cfg Config) (*Server, er
 	s.bufPool.New = func() any {
 		b := make([]byte, 0, 256)
 		return &b
+	}
+	s.demandPool.New = func() any {
+		return &demandScratch{body: make([]byte, 0, 4096)}
 	}
 	s.store.Store(snap)
 	go s.resolveLoop(ctx)

@@ -44,6 +44,16 @@ type Snapshot struct {
 	// bounds check and one load, no map hashing.
 	vidIdx []int32
 	n      int
+
+	// openOff/openIdx record each video's thresholded open set (the y ≥
+	// openY offices, in solution order) in CSR form: video vi's open offices
+	// are openIdx[openOff[vi]:openOff[vi+1]]. A route row is a pure function
+	// of this set and the (immutable) cost matrix, so the incremental
+	// builder compares the next solution's open sets against these to decide
+	// which rows it must recompute — never against Sol, which the next
+	// attempt may alias.
+	openOff []int32
+	openIdx []int32
 }
 
 // buildSnapshot validates (inst, sol) and precomputes the route table.
@@ -53,28 +63,35 @@ type Snapshot struct {
 // and unsorted open lists are tolerated, and videos without any open copy
 // get the unreachable sentinel rather than a default office.
 func buildSnapshot(inst *mip.Instance, sol *mip.Solution, version uint64, certified bool) (*Snapshot, error) {
+	s, _, err := buildSnapshotFrom(nil, nil, inst, sol, version, certified)
+	return s, err
+}
+
+// buildSnapshotFrom is buildSnapshot with an incremental mode: when prev is
+// a snapshot built on the same instance value (pointer identity — the
+// resolver's patched live instance), route rows are copied from prev instead
+// of recomputed for every video whose thresholded open set is unchanged and
+// whose demand is not in dirty (ascending video indices). An unchanged open
+// set makes the recomputation bit-identical to the copy — the row depends
+// only on the open set and the immutable cost matrix — so the incremental
+// result is byte-for-byte the full rebuild's; the dirty list is the
+// belt-and-braces invalidation for rows whose demand moved under the same
+// open set. Returns the snapshot and the number of rows actually recomputed
+// (== the video count on a full build).
+func buildSnapshotFrom(prev *Snapshot, dirty []int, inst *mip.Instance, sol *mip.Solution, version uint64, certified bool) (*Snapshot, int64, error) {
 	if inst == nil || sol == nil {
-		return nil, fmt.Errorf("serve: nil instance or solution")
+		return nil, 0, fmt.Errorf("serve: nil instance or solution")
 	}
 	if sol.Inst != inst {
-		return nil, fmt.Errorf("serve: solution belongs to a different instance")
+		return nil, 0, fmt.Errorf("serve: solution belongs to a different instance")
 	}
 	if len(sol.Videos) != len(inst.Demands) {
-		return nil, fmt.Errorf("serve: %d video placements for %d demands", len(sol.Videos), len(inst.Demands))
+		return nil, 0, fmt.Errorf("serve: %d video placements for %d demands", len(sol.Videos), len(inst.Demands))
 	}
 	n := inst.NumVHOs()
 	nv := len(inst.Demands)
+	incr := prev != nil && prev.Inst == inst && prev.n == n && len(prev.openOff) == nv+1
 
-	maxID := -1
-	for vi := range inst.Demands {
-		id := inst.Demands[vi].Video
-		if id < 0 {
-			return nil, fmt.Errorf("serve: video index %d has negative library id %d", vi, id)
-		}
-		if id > maxID {
-			maxID = id
-		}
-	}
 	s := &Snapshot{
 		Version:   version,
 		Inst:      inst,
@@ -82,24 +99,46 @@ func buildSnapshot(inst *mip.Instance, sol *mip.Solution, version uint64, certif
 		Certified: certified,
 		BuiltAt:   time.Now(),
 		route:     make([]int32, nv*n),
-		vidIdx:    make([]int32, maxID+1),
 		n:         n,
+		openOff:   make([]int32, nv+1),
 	}
-	for i := range s.vidIdx {
-		s.vidIdx[i] = -1
-	}
-	for vi := range inst.Demands {
-		id := inst.Demands[vi].Video
-		if s.vidIdx[id] != -1 {
-			return nil, fmt.Errorf("serve: duplicate library id %d", id)
+	if incr {
+		// Library ids are immutable under a patch, so the previous table —
+		// validated when prev was built — is shared as-is.
+		s.vidIdx = prev.vidIdx
+		s.openIdx = make([]int32, 0, len(prev.openIdx))
+	} else {
+		maxID := -1
+		for vi := range inst.Demands {
+			id := inst.Demands[vi].Video
+			if id < 0 {
+				return nil, 0, fmt.Errorf("serve: video index %d has negative library id %d", vi, id)
+			}
+			if id > maxID {
+				maxID = id
+			}
 		}
-		s.vidIdx[id] = int32(vi)
+		s.vidIdx = make([]int32, maxID+1)
+		for i := range s.vidIdx {
+			s.vidIdx[i] = -1
+		}
+		for vi := range inst.Demands {
+			id := inst.Demands[vi].Video
+			if s.vidIdx[id] != -1 {
+				return nil, 0, fmt.Errorf("serve: duplicate library id %d", id)
+			}
+			s.vidIdx[id] = int32(vi)
+		}
 	}
 
 	// Cheapest-copy routes: for each destination j, the open office with the
 	// minimal transfer cost c_ij; strict < keeps the lowest office index on
-	// ties, matching the from-scratch recomputation the tests do.
+	// ties, matching the from-scratch recomputation the tests do. Open-set
+	// extraction and validation always run for every video — only the
+	// per-destination scan is skipped on a reused row.
+	var rebuilt int64
 	var open []int32
+	di := 0
 	for vi := range sol.Videos {
 		open = open[:0]
 		for _, f := range sol.Videos[vi].Open {
@@ -107,11 +146,25 @@ func buildSnapshot(inst *mip.Instance, sol *mip.Solution, version uint64, certif
 				continue
 			}
 			if int(f.I) < 0 || int(f.I) >= n {
-				return nil, fmt.Errorf("serve: video %d open office %d out of range [0,%d)", vi, f.I, n)
+				return nil, 0, fmt.Errorf("serve: video %d open office %d out of range [0,%d)", vi, f.I, n)
 			}
 			open = append(open, f.I)
 		}
+		s.openIdx = append(s.openIdx, open...)
+		s.openOff[vi+1] = int32(len(s.openIdx))
+
 		row := s.route[vi*n : (vi+1)*n]
+		if incr {
+			for di < len(dirty) && dirty[di] < vi {
+				di++
+			}
+			isDirty := di < len(dirty) && dirty[di] == vi
+			if !isDirty && openSetEqual(open, prev.openIdx[prev.openOff[vi]:prev.openOff[vi+1]]) {
+				copy(row, prev.route[vi*n:(vi+1)*n])
+				continue
+			}
+		}
+		rebuilt++
 		if len(open) == 0 {
 			for j := range row {
 				row[j] = -1
@@ -129,7 +182,23 @@ func buildSnapshot(inst *mip.Instance, sol *mip.Solution, version uint64, certif
 			row[j] = best
 		}
 	}
-	return s, nil
+	return s, rebuilt, nil
+}
+
+// openSetEqual reports whether two thresholded open-office lists are
+// identical (same offices in the same order — the deterministic solver
+// emits open sets ascending, so order equality is set equality; an
+// order-only difference merely costs one conservative recomputation).
+func openSetEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // routeDelta counts route-table entries that differ between two snapshots,

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"vodplace/internal/mip"
 )
@@ -47,6 +48,11 @@ type demandState struct {
 	// successful swap covered (see resolveOnce) rather than zeroing, so
 	// updates that land mid-solve stay counted.
 	drift float64
+	// dirty is the set of row indices apply has touched since the resolver
+	// last drained it — the delta resolve path's work list. Tracked inside
+	// apply (the single mutation point) so every caller, the HTTP ingest
+	// path and tests driving apply directly alike, feeds it.
+	dirty map[int]struct{}
 }
 
 // defaultConcFrac is the per-slice concurrency/aggregate ratio used when
@@ -64,6 +70,7 @@ func stateFromInstance(inst *mip.Instance) *demandState {
 		n:        n,
 		slices:   inst.Slices,
 		concFrac: make([]float64, inst.Slices),
+		dirty:    make(map[int]struct{}),
 	}
 	var totalAgg float64
 	totalConc := make([]float64, inst.Slices)
@@ -118,10 +125,13 @@ func (st *demandState) validate(us []DemandUpdate) error {
 	return nil
 }
 
-// apply folds a validated batch into the state.
+// apply folds a validated batch into the state and marks the touched rows
+// dirty for the next delta resolve.
 func (st *demandState) apply(us []DemandUpdate) {
 	for _, u := range us {
-		row := &st.rows[st.byID[u.Video]]
+		ri := st.byID[u.Video]
+		st.dirty[ri] = struct{}{}
+		row := &st.rows[ri]
 		prev := row.agg[u.VHO]
 		row.agg[u.VHO] += u.Add
 		if row.agg[u.VHO] < 0 {
@@ -137,14 +147,9 @@ func (st *demandState) apply(us []DemandUpdate) {
 	}
 }
 
-// instance builds a fresh placement instance from the current state by
-// streaming every row through an InstanceBuilder with one reused staging
-// demand (the builder copies what it keeps).
-func (st *demandState) instance(base *mip.Instance) (*mip.Instance, error) {
-	b, err := mip.NewInstanceBuilder(base.G, base.DiskGB, base.LinkCapMbps, st.slices, 0)
-	if err != nil {
-		return nil, err
-	}
+// newStaging returns a reusable staging demand sized for this state's
+// office/slice dimensions.
+func (st *demandState) newStaging() mip.VideoDemand {
 	staging := mip.VideoDemand{
 		Js:   make([]int32, 0, st.n),
 		Agg:  make([]float64, 0, st.n),
@@ -153,32 +158,54 @@ func (st *demandState) instance(base *mip.Instance) (*mip.Instance, error) {
 	for t := range staging.Conc {
 		staging.Conc[t] = make([]float64, 0, st.n)
 	}
-	for vi := range st.rows {
-		row := &st.rows[vi]
-		staging.Video = row.video
-		staging.SizeGB = row.sizeGB
-		staging.RateMbps = row.rateMbps
-		staging.Js = staging.Js[:0]
-		staging.Agg = staging.Agg[:0]
+	return staging
+}
+
+// fillStaging loads row vi into the reused staging demand: the identity
+// fields plus the sparse office profile under the keep-filter (an office
+// appears iff its aggregate or any slice concurrency is positive). Both
+// construction routes — the full-catalog rebuild in instance and the
+// dirty-row patch in patchInstance — extract rows through this one helper,
+// so they cannot disagree about which offices a row keeps.
+func (st *demandState) fillStaging(vi int, staging *mip.VideoDemand) {
+	row := &st.rows[vi]
+	staging.Video = row.video
+	staging.SizeGB = row.sizeGB
+	staging.RateMbps = row.rateMbps
+	staging.Js = staging.Js[:0]
+	staging.Agg = staging.Agg[:0]
+	for t := range staging.Conc {
+		staging.Conc[t] = staging.Conc[t][:0]
+	}
+	for j := 0; j < st.n; j++ {
+		keep := row.agg[j] > 0
+		for t := 0; !keep && t < st.slices; t++ {
+			keep = row.conc[t][j] > 0
+		}
+		if !keep {
+			continue
+		}
+		staging.Js = append(staging.Js, int32(j))
+		staging.Agg = append(staging.Agg, row.agg[j])
 		for t := range staging.Conc {
-			staging.Conc[t] = staging.Conc[t][:0]
+			staging.Conc[t] = append(staging.Conc[t], row.conc[t][j])
 		}
-		for j := 0; j < st.n; j++ {
-			keep := row.agg[j] > 0
-			for t := 0; !keep && t < st.slices; t++ {
-				keep = row.conc[t][j] > 0
-			}
-			if !keep {
-				continue
-			}
-			staging.Js = append(staging.Js, int32(j))
-			staging.Agg = append(staging.Agg, row.agg[j])
-			for t := range staging.Conc {
-				staging.Conc[t] = append(staging.Conc[t], row.conc[t][j])
-			}
-		}
+	}
+}
+
+// instance builds a fresh placement instance from the current state by
+// streaming every row through an InstanceBuilder with one reused staging
+// demand (the builder copies what it keeps).
+func (st *demandState) instance(base *mip.Instance) (*mip.Instance, error) {
+	b, err := mip.NewInstanceBuilder(base.G, base.DiskGB, base.LinkCapMbps, st.slices, 0)
+	if err != nil {
+		return nil, err
+	}
+	staging := st.newStaging()
+	for vi := range st.rows {
+		st.fillStaging(vi, &staging)
 		if err := b.Add(&staging); err != nil {
-			return nil, fmt.Errorf("video %d: %w", row.video, err)
+			return nil, fmt.Errorf("video %d: %w", st.rows[vi].video, err)
 		}
 	}
 	inst, err := b.Seal()
@@ -187,4 +214,38 @@ func (st *demandState) instance(base *mip.Instance) (*mip.Instance, error) {
 	}
 	inst.Alpha, inst.Beta = base.Alpha, base.Beta
 	return inst, nil
+}
+
+// drainDirty returns the row indices apply has touched since the previous
+// drain, ascending, and resets the set. Rows stream into instances in index
+// order, so a row index is also the video's instance index in every
+// instance built from (or patched against) this state.
+func (st *demandState) drainDirty() []int {
+	if len(st.dirty) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(st.dirty))
+	for vi := range st.dirty {
+		out = append(out, vi)
+	}
+	sort.Ints(out)
+	clear(st.dirty)
+	return out
+}
+
+// patchInstance rewrites the dirty videos' demand rows of inst in place
+// through mip.ApplyDemandDelta — the delta resolve path's alternative to
+// re-streaming the whole catalog. inst must have been built from this state
+// (row order == video index order); rows are extracted with the same
+// fillStaging keep-filter the full rebuild uses, so a patched instance is
+// bit-identical to a rebuilt one.
+func (st *demandState) patchInstance(inst *mip.Instance, dirty []int) error {
+	staging := st.newStaging()
+	for _, vi := range dirty {
+		st.fillStaging(vi, &staging)
+		if err := inst.ApplyDemandDelta(vi, staging.Js, staging.Agg, staging.Conc); err != nil {
+			return fmt.Errorf("video %d: %w", st.rows[vi].video, err)
+		}
+	}
+	return nil
 }

@@ -1,18 +1,22 @@
 // Command servestat reduces a serving-plane telemetry trace (produced by
 // vodserved's -trace-out flag) to an operational summary: the re-solve
-// ledger with verdicts and timing breakdowns, the snapshot swap timeline
-// with route churn and staleness percentiles, and the demand-stream totals.
-// With -metrics it additionally reads a scraped Prometheus /metrics
-// snapshot and reports the server-side per-endpoint latency quantiles.
-// Under -check it audits the trace's lifecycle invariants — swap versions
-// strictly monotone, every swap covered by a swapped (audit-passing)
-// resolve, start/done events properly bracketed — and exits nonzero on any
+// ledger with verdicts, timing breakdowns and the delta-resolve economy
+// (dirty videos, route rows rebuilt), the snapshot swap timeline with
+// route churn, rebuilt/total rows and the delta fraction, and the
+// demand-stream totals. With -metrics it additionally reads a scraped
+// Prometheus /metrics snapshot and reports the server-side per-endpoint
+// latency quantiles. Under -check it audits the trace's lifecycle
+// invariants — swap versions strictly monotone, every swap covered by a
+// swapped (audit-passing) resolve, start/done events properly bracketed,
+// rebuilt row counts within the table — and exits nonzero on any
 // violation: the serving plane promises these properties, so a violating
-// trace is evidence of a bug.
+// trace is evidence of a bug. -expect-delta additionally requires that at
+// least one swap was built incrementally (rebuilt < rows) — the smoke
+// tests' proof that the delta resolve path actually fired.
 //
 // Usage:
 //
-//	servestat [-check] [-metrics snapshot.prom] [trace.jsonl]
+//	servestat [-check] [-expect-delta] [-metrics snapshot.prom] [trace.jsonl]
 //
 // With no file argument the trace is read from stdin, unless -metrics is
 // given alone (a metrics-only report). Output is deterministic for a fixed
@@ -35,8 +39,9 @@ import (
 
 func main() {
 	var (
-		check   = flag.Bool("check", false, "exit nonzero when a lifecycle invariant is violated")
-		metrics = flag.String("metrics", "", "Prometheus /metrics snapshot to report latency quantiles from")
+		check       = flag.Bool("check", false, "exit nonzero when a lifecycle invariant is violated")
+		expectDelta = flag.Bool("expect-delta", false, "with -check, require at least one incrementally-built swap (rows rebuilt < catalog rows)")
+		metrics     = flag.String("metrics", "", "Prometheus /metrics snapshot to report latency quantiles from")
 	)
 	flag.Parse()
 
@@ -79,7 +84,11 @@ func main() {
 	sum.writeTable(os.Stdout)
 	writeLatency(os.Stdout, samples)
 	if *check {
-		if bad := violations(events); len(bad) > 0 {
+		bad := violations(events)
+		if *expectDelta && !hasIncrementalSwap(events) {
+			bad = append(bad, "no incremental swap in trace (every snapshot build recomputed the full route table)")
+		}
+		if len(bad) > 0 {
 			for _, m := range bad {
 				fmt.Fprintf(os.Stderr, "servestat: %s\n", m)
 			}
@@ -152,6 +161,11 @@ func (s *summary) writeTable(w io.Writer) {
 			fmt.Fprintf(w, "v%d  %s  %s  passes %d  warm %.0f%%  solve %s ms  audit %s ms  build %s ms",
 				e.Version, e.Trigger, e.Verdict, e.Passes, 100*e.WarmFrac,
 				g(e.SolveMS), g(e.AuditMS), g(e.BuildMS))
+			// Delta columns only when the attempt carried them — pre-delta
+			// traces render exactly as before.
+			if e.Dirty > 0 || e.Rebuilt > 0 {
+				fmt.Fprintf(w, "  dirty %d  rebuilt %d", e.Dirty, e.Rebuilt)
+			}
 			if e.Reason != "" {
 				fmt.Fprintf(w, "  reason: %s", e.Reason)
 			}
@@ -171,8 +185,14 @@ func (s *summary) writeTable(w io.Writer) {
 			prev = e.TMS
 			lifetimes = append(lifetimes, life)
 			churn += e.RDelta
-			fmt.Fprintf(w, "v%d  routes changed %d  build %s ms  after %s ms\n",
-				e.Version, e.RDelta, g(e.BuildMS), g6(life))
+			fmt.Fprintf(w, "v%d  routes changed %d", e.Version, e.RDelta)
+			// Rows is zero in pre-delta traces; those timelines render
+			// exactly as before.
+			if e.Rows > 0 {
+				fmt.Fprintf(w, "  rebuilt %d/%d rows  delta %s",
+					e.Rebuilt, e.Rows, g6(float64(e.Rebuilt)/float64(e.Rows)))
+			}
+			fmt.Fprintf(w, "  build %s ms  after %s ms\n", g(e.BuildMS), g6(life))
 		}
 		sort.Float64s(lifetimes)
 		fmt.Fprintf(w, "swaps %d  route churn %d  lifetime ms: p50 %s  p90 %s  max %s\n\n",
@@ -250,6 +270,10 @@ func writeLatency(w io.Writer, samples []obs.PromSample) {
 //     stopped mid-publication or the gate was bypassed).
 //  3. resolve events bracket properly: one open attempt at a time, no done
 //     without a start, no start left open at end of trace.
+//  4. a swap's delta economy is coherent: when it reports a table size
+//     (rows > 0, i.e. a post-delta trace), the rebuilt count must lie in
+//     [0, rows] — a count outside the table means the incremental builder
+//     miscounted its work.
 //
 // Messages are returned in trace order, deterministically.
 func violations(events []obs.Event) []string {
@@ -296,10 +320,27 @@ func violations(events []obs.Event) []string {
 			if !swappedDone[e.Version] {
 				out = append(out, fmt.Sprintf("swap v%d without a swapped resolve verdict (audit gate bypassed?)", e.Version))
 			}
+			if e.Rows > 0 && (e.Rebuilt < 0 || e.Rebuilt > e.Rows) {
+				out = append(out, fmt.Sprintf("swap v%d rebuilt %d of %d route rows (count outside the table)", e.Version, e.Rebuilt, e.Rows))
+			}
 		}
 	}
 	if haveOpen {
 		out = append(out, fmt.Sprintf("resolve start v%d never completed", open))
 	}
 	return out
+}
+
+// hasIncrementalSwap reports whether any swap in the trace was built
+// incrementally — it reports a table size and recomputed strictly fewer
+// rows than it. The -expect-delta check, used by the serve smoke test to
+// assert the delta resolve path actually fired.
+func hasIncrementalSwap(events []obs.Event) bool {
+	for i := range events {
+		e := events[i]
+		if e.K == "serve_swap" && e.Rows > 0 && e.Rebuilt < e.Rows {
+			return true
+		}
+	}
+	return false
 }

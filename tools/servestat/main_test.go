@@ -112,6 +112,39 @@ func TestCheckViolations(t *testing.T) {
 	}
 }
 
+// TestCheckDeltaEconomy covers invariant 4 and the -expect-delta predicate:
+// the healthy fixture contains an incremental swap, a rebuilt count larger
+// than the table is flagged, and a trace whose every swap is a full rebuild
+// fails the expectation.
+func TestCheckDeltaEconomy(t *testing.T) {
+	events := loadTrace(t, "serve_ok.trace.jsonl")
+	if !hasIncrementalSwap(events) {
+		t.Error("healthy fixture has an incremental swap, predicate missed it")
+	}
+	if bad := violations(events); len(bad) != 0 {
+		t.Errorf("healthy fixture flagged: %v", bad)
+	}
+
+	over := []obs.Event{{K: "serve_swap", Version: 2, Rows: 40, Rebuilt: 41}}
+	found := false
+	for _, m := range violations(over) {
+		if m == "swap v2 rebuilt 41 of 40 route rows (count outside the table)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rebuilt > rows not flagged: %v", violations(over))
+	}
+
+	full := []obs.Event{{K: "serve_swap", Version: 2, Rows: 40, Rebuilt: 40}}
+	if hasIncrementalSwap(full) {
+		t.Error("full-rebuild-only trace satisfied -expect-delta")
+	}
+	if hasIncrementalSwap(nil) {
+		t.Error("empty trace satisfied -expect-delta")
+	}
+}
+
 // TestCheckRealTrace runs the checker over a trace the real recorder
 // emitted, closing the loop between the emitters in internal/obs and the
 // invariants asserted here.
