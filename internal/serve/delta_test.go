@@ -187,6 +187,31 @@ func BenchmarkResolveFull100k(b *testing.B) {
 	deltaFx.snap = snap
 }
 
+// TestDemandDecodeNoLeakAcrossRequests pins the pooled-decode contract: a
+// request whose updates omit fields must not inherit values a previous
+// request decoded into the same reused batch slots (regression for the
+// clear-before-decode in readDemandBatch).
+func TestDemandDecodeNoLeakAcrossRequests(t *testing.T) {
+	sc := &demandScratch{body: make([]byte, 0, 4096)}
+	first := `[{"video":7,"vho":3,"add":100}]`
+	if err := readDemandBatch(nil, io.NopCloser(strings.NewReader(first)), sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.updates) != 1 || sc.updates[0].Add != 100 {
+		t.Fatalf("first decode: got %+v", sc.updates)
+	}
+	second := `[{"video":1,"vho":2}]`
+	if err := readDemandBatch(nil, io.NopCloser(strings.NewReader(second)), sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.updates) != 1 {
+		t.Fatalf("second decode: got %d updates, want 1", len(sc.updates))
+	}
+	if got := sc.updates[0]; got.Video != 1 || got.VHO != 2 || got.Add != 0 {
+		t.Fatalf("second decode leaked pooled state: got %+v, want {Video:1 VHO:2 Add:0}", got)
+	}
+}
+
 // BenchmarkServeDemandDecode measures the pooled POST /demand decode path:
 // body read into the reused buffer plus JSON decode into the reused batch
 // slice. The allocs/op figure is the satellite's contract — steady-state

@@ -45,6 +45,11 @@ func readDemandBatch(w http.ResponseWriter, body io.ReadCloser, sc *demandScratc
 	}
 	dec := json.NewDecoder(bytes.NewReader(sc.body))
 	dec.DisallowUnknownFields()
+	// encoding/json reuses the backing elements when the slice re-grows and
+	// leaves fields absent from the JSON at their prior values, so the
+	// reused capacity must be zeroed or an update that omits "add" would
+	// inherit the value a previous request decoded into the same slot.
+	clear(sc.updates[:cap(sc.updates)])
 	sc.updates = sc.updates[:0]
 	return dec.Decode(&sc.updates)
 }

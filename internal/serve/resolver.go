@@ -144,7 +144,12 @@ func (s *Server) resolveOnce(ctx context.Context) (*Snapshot, error) {
 	if !s.cfg.WarmOff {
 		opts.Warm = warm
 	}
-	opts.DirtyVideos = dirty
+	if delta {
+		// Full rebuilds re-stream the whole catalog, so per the
+		// epf.Options/Stats contract they pass no dirty list — every video
+		// is suspect, and Stats.DirtyVideos/ShardDirtyFrac stay zero.
+		opts.DirtyVideos = dirty
+	}
 	tSolve := time.Now()
 	res, err := epf.SolveIntegerContext(ctx, inst, opts)
 	done.SolveMS = float64(time.Since(tSolve).Nanoseconds()) / 1e6

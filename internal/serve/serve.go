@@ -143,6 +143,11 @@ type Server struct {
 // background resolver. The returned server is serving (via Handler) as soon
 // as New returns; Close stops the resolver and discards any in-flight
 // re-solve.
+//
+// The server takes ownership of inst: the delta resolve path patches its
+// demand rows in place (mip.ApplyDemandDelta) as updates arrive, so callers
+// must not mutate inst afterwards or rely on its demand rows staying as
+// passed. Build a separate instance for any use beyond the server.
 func New(inst *mip.Instance, cfg Config) (*Server, error) {
 	if inst == nil {
 		return nil, fmt.Errorf("serve: nil instance")
@@ -163,6 +168,10 @@ func New(inst *mip.Instance, cfg Config) (*Server, error) {
 // NewWithResult starts the server from an already-solved (and
 // audit-checked) initial placement. Callers that did not run verify.Audit
 // themselves should use New.
+//
+// Like New, the server takes ownership of inst (and of res.Sol, which the
+// initial snapshot aliases): delta re-solves patch inst's demand rows in
+// place, so callers must not retain either for reuse or comparison.
 func NewWithResult(inst *mip.Instance, res *epf.Result, cfg Config) (*Server, error) {
 	snap, err := buildSnapshot(inst, res.Sol, 1, true)
 	if err != nil {
